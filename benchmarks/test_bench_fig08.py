@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig 8 of the paper: throughput under random link failures.
+
+Runs the experiment at the fast ("small") scale and prints the reproduced
+rows, so `pytest benchmarks/ --benchmark-only` doubles as the harness that
+regenerates every table and figure.
+"""
+
+from repro.experiments.common import format_table, run_experiment
+
+
+def test_bench_fig08(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig08",), kwargs={"scale": "small", "seed": 0},
+        iterations=1, rounds=1,
+    )
+    assert result.rows
+    print()
+    print(format_table(result))

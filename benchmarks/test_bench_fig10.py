@@ -1,0 +1,18 @@
+"""Benchmark regenerating Fig 10 of the paper: k-shortest-path + MPTCP vs optimal routing.
+
+Runs the experiment at the fast ("small") scale and prints the reproduced
+rows, so `pytest benchmarks/ --benchmark-only` doubles as the harness that
+regenerates every table and figure.
+"""
+
+from repro.experiments.common import format_table, run_experiment
+
+
+def test_bench_fig10(benchmark):
+    result = benchmark.pedantic(
+        run_experiment, args=("fig10",), kwargs={"scale": "small", "seed": 0},
+        iterations=1, rounds=1,
+    )
+    assert result.rows
+    print()
+    print(format_table(result))

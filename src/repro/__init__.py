@@ -1,0 +1,72 @@
+"""repro: a reproduction of "Jellyfish: Networking Data Centers Randomly".
+
+The public API exposes the topology constructors, the traffic/throughput
+machinery and the two simulators.  Experiment runners that regenerate every
+table and figure in the paper's evaluation live in :mod:`repro.experiments`
+and are also reachable through ``python -m repro.cli``.
+"""
+
+from repro.topologies import (
+    FatTreeTopology,
+    JellyfishTopology,
+    LeafSpineTopology,
+    SmallWorldTopology,
+    Topology,
+)
+from repro.topologies.degree_diameter import DegreeDiameterTopology
+from repro.traffic import (
+    TrafficMatrix,
+    all_to_all_traffic,
+    hotspot_traffic,
+    random_permutation_traffic,
+    stride_traffic,
+)
+from repro.flow import (
+    max_concurrent_flow_edge_lp,
+    max_concurrent_flow_path_lp,
+    max_min_fair_allocation,
+    max_servers_at_full_throughput,
+    normalized_throughput,
+    supports_full_throughput,
+)
+from repro.routing import build_path_set, ecmp_paths, k_shortest_paths, link_path_counts
+from repro.simulation import (
+    AimdConfig,
+    SimulationConfig,
+    simulate_aimd,
+    simulate_fluid,
+)
+from repro.failures import fail_random_links, fail_random_switches
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FatTreeTopology",
+    "JellyfishTopology",
+    "LeafSpineTopology",
+    "SmallWorldTopology",
+    "DegreeDiameterTopology",
+    "Topology",
+    "TrafficMatrix",
+    "all_to_all_traffic",
+    "hotspot_traffic",
+    "random_permutation_traffic",
+    "stride_traffic",
+    "max_concurrent_flow_edge_lp",
+    "max_concurrent_flow_path_lp",
+    "max_min_fair_allocation",
+    "max_servers_at_full_throughput",
+    "normalized_throughput",
+    "supports_full_throughput",
+    "build_path_set",
+    "ecmp_paths",
+    "k_shortest_paths",
+    "link_path_counts",
+    "AimdConfig",
+    "SimulationConfig",
+    "simulate_aimd",
+    "simulate_fluid",
+    "fail_random_links",
+    "fail_random_switches",
+    "__version__",
+]

@@ -1,0 +1,18 @@
+"""Physical layout, cabling cost, and containerized (localized) Jellyfish."""
+
+from repro.cabling.layout import CablingReport, FloorPlan
+from repro.cabling.containers import (
+    build_localized_jellyfish,
+    container_of,
+    fattree_local_link_fraction,
+    local_link_fraction,
+)
+
+__all__ = [
+    "CablingReport",
+    "FloorPlan",
+    "build_localized_jellyfish",
+    "container_of",
+    "fattree_local_link_fraction",
+    "local_link_fraction",
+]

@@ -1,0 +1,75 @@
+"""Command-line entry point: run any of the paper's experiments.
+
+Examples
+--------
+List the available experiments::
+
+    jellyfish-repro --list
+
+Reproduce Table 1 at the fast (small) scale and print the table::
+
+    jellyfish-repro table1
+
+Run the Fig 2(c) throughput comparison at closer-to-paper scale::
+
+    jellyfish-repro fig02c --scale paper --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.common import format_table, list_experiments, run_experiment
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro",
+        description="Reproduce tables and figures from 'Jellyfish: Networking Data Centers Randomly'",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        help="experiment ids to run (e.g. fig01 fig02c table1); use --list to see all",
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list available experiment ids and exit"
+    )
+    parser.add_argument(
+        "--scale",
+        choices=["small", "paper"],
+        default="small",
+        help="problem sizes: 'small' is fast, 'paper' is closer to the paper's sizes",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        for experiment_id in list_experiments():
+            print(experiment_id)
+        return 0
+    if not args.experiments:
+        parser.error("no experiments given (use --list to see the available ids)")
+
+    exit_code = 0
+    for experiment_id in args.experiments:
+        try:
+            result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            exit_code = 2
+            continue
+        print(format_table(result))
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,13 @@
+"""Incremental expansion: cost model, Clos (LEGUP-like) and Jellyfish planners."""
+
+from repro.expansion.cost import CostModel
+from repro.expansion.legup import ClosExpansionPlanner, ClosExpansionState
+from repro.expansion.planner import JellyfishExpansionPlanner, JellyfishExpansionState
+
+__all__ = [
+    "CostModel",
+    "ClosExpansionPlanner",
+    "ClosExpansionState",
+    "JellyfishExpansionPlanner",
+    "JellyfishExpansionState",
+]

@@ -1,0 +1,100 @@
+"""Cost model for network equipment and (re)wiring.
+
+The LEGUP comparison (Fig 7) charges each expansion stage a budget covering
+new switches, new cables and rewiring labour.  LEGUP's exact cost constants
+are not public, so this model uses the constants the paper itself quotes in
+Section 6: roughly $5-6 per metre of cable, ~$200 for an optical
+transceiver pair when a run exceeds the 10 m electrical limit, and labour at
+about 10% of cabling cost.  Switch prices default to a simple per-port rate.
+All constants are configurable so sensitivity studies are easy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.utils.validation import require_non_negative
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Prices used when planning expansions.
+
+    Attributes
+    ----------
+    cost_per_port:
+        Switch cost is ``cost_per_port * port_count`` (a common first-order
+        model: switch prices scale with radix).
+    cable_cost_per_meter:
+        Material cost of one metre of cable (electrical or optical).
+    optical_transceiver_cost:
+        Added to every cable longer than ``electrical_cable_limit_m``.
+    electrical_cable_limit_m:
+        Longest run an electrical cable can cover without repeaters.
+    default_cable_length_m:
+        Length assumed for a cable when the caller has no layout information.
+    labor_fraction:
+        Labour charged as a fraction of the cable material cost.
+    rewiring_cost_per_cable:
+        Cost of moving one existing cable during an expansion.
+    """
+
+    cost_per_port: float = 100.0
+    cable_cost_per_meter: float = 5.5
+    optical_transceiver_cost: float = 200.0
+    electrical_cable_limit_m: float = 10.0
+    default_cable_length_m: float = 5.0
+    labor_fraction: float = 0.10
+    rewiring_cost_per_cable: float = 10.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "cost_per_port",
+            "cable_cost_per_meter",
+            "optical_transceiver_cost",
+            "electrical_cable_limit_m",
+            "default_cable_length_m",
+            "labor_fraction",
+            "rewiring_cost_per_cable",
+        ):
+            require_non_negative(getattr(self, name), name)
+
+    # ------------------------------------------------------------------ #
+    def switch_cost(self, port_count: int) -> float:
+        """Price of one switch with ``port_count`` ports."""
+        require_non_negative(port_count, "port_count")
+        return self.cost_per_port * port_count
+
+    def cable_cost(self, length_m: float = None) -> float:
+        """Price of one installed cable of the given length (material + labour)."""
+        if length_m is None:
+            length_m = self.default_cable_length_m
+        require_non_negative(length_m, "length_m")
+        material = self.cable_cost_per_meter * length_m
+        if length_m > self.electrical_cable_limit_m:
+            material += self.optical_transceiver_cost
+        return material * (1.0 + self.labor_fraction)
+
+    def cables_cost(self, count: int, length_m: float = None) -> float:
+        """Price of ``count`` cables of identical length."""
+        require_non_negative(count, "count")
+        return count * self.cable_cost(length_m)
+
+    def rewiring_cost(self, cables_moved: int) -> float:
+        """Labour cost of moving existing cables during an expansion."""
+        require_non_negative(cables_moved, "cables_moved")
+        return cables_moved * self.rewiring_cost_per_cable
+
+    def expansion_cost(
+        self,
+        new_switch_ports: int,
+        new_cables: int,
+        cables_moved: int,
+        cable_length_m: float = None,
+    ) -> float:
+        """Total cost of an expansion step."""
+        return (
+            self.cost_per_port * new_switch_ports
+            + self.cables_cost(new_cables, cable_length_m)
+            + self.rewiring_cost(cables_moved)
+        )

@@ -1,0 +1,159 @@
+"""Budgeted Jellyfish expansion planner (the paper's side of Fig 7).
+
+At every stage the planner is given the same budget and the same new-server
+requirement as the Clos planner.  It buys top-of-rack switches, attaches the
+required servers, and randomly cables every remaining port into the existing
+random graph using the paper's link-swap procedure -- paying for the new
+switch, the new cables and the cables that have to be moved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.expansion.cost import CostModel
+from repro.graphs.bisection import estimate_bisection_bandwidth
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_integer, require_non_negative
+
+
+@dataclass
+class JellyfishExpansionState:
+    """Snapshot of the Jellyfish network after an expansion stage."""
+
+    stage: int
+    num_switches: int
+    num_servers: int
+    cumulative_cost: float
+    budget_spent_this_stage: float
+    normalized_bisection: float
+
+
+class JellyfishExpansionPlanner:
+    """Greedy budgeted expansion of a Jellyfish network."""
+
+    def __init__(
+        self,
+        switch_ports: int = 24,
+        servers_per_switch: int = 15,
+        cost_model: Optional[CostModel] = None,
+        rng: RngLike = None,
+        bisection_trials: int = 3,
+    ) -> None:
+        require_integer(switch_ports, "switch_ports")
+        require_integer(servers_per_switch, "servers_per_switch")
+        if servers_per_switch >= switch_ports:
+            raise ValueError("servers_per_switch must leave ports for the network")
+        self.switch_ports = switch_ports
+        self.servers_per_switch = servers_per_switch
+        self.cost_model = cost_model or CostModel()
+        self.rng = ensure_rng(rng)
+        self.bisection_trials = bisection_trials
+
+        self.topology: Optional[JellyfishTopology] = None
+        self.cumulative_cost = 0.0
+        self.stage = -1
+        self.history: List[JellyfishExpansionState] = []
+        self._next_switch_id = 0
+
+    # ------------------------------------------------------------------ #
+    def _switch_addition_cost(self, servers: int) -> float:
+        """Cost of buying and cabling in one new ToR switch."""
+        network_ports = self.switch_ports - servers
+        new_cables = network_ports  # every network port gets a new cable
+        cables_moved = network_ports // 2  # each pair of ports splices one link
+        return self.cost_model.expansion_cost(
+            new_switch_ports=self.switch_ports,
+            new_cables=new_cables + servers,
+            cables_moved=cables_moved,
+        )
+
+    def _add_switch(self, servers: int) -> None:
+        switch_id = ("jf", self._next_switch_id)
+        self._next_switch_id += 1
+        if self.topology is None:
+            raise RuntimeError("seed topology missing; call expand() with servers first")
+        self.topology.add_switch(
+            switch_id, self.switch_ports, servers=servers, rng=self.rng
+        )
+
+    def _bootstrap(self, num_switches: int) -> None:
+        """Build the initial network from scratch (stage 0).
+
+        The network degree is clamped to ``num_switches - 1`` so very small
+        seed networks (fewer racks than spare ports) are still valid; the
+        unused ports stay free for later expansion.
+        """
+        network_degree = min(
+            self.switch_ports - self.servers_per_switch, num_switches - 1
+        )
+        self.topology = JellyfishTopology.build(
+            num_switches,
+            self.switch_ports,
+            network_degree,
+            rng=self.rng,
+            servers_per_switch=self.servers_per_switch,
+            name="jellyfish-expansion",
+        )
+        self._next_switch_id = num_switches
+
+    # ------------------------------------------------------------------ #
+    def expand(self, budget: float, new_servers: int = 0) -> JellyfishExpansionState:
+        """Run one expansion stage under ``budget``.
+
+        The required servers are added first (as whole racks); any remaining
+        budget buys bare switches that only add network capacity.
+        """
+        require_non_negative(budget, "budget")
+        require_integer(new_servers, "new_servers")
+        if new_servers < 0:
+            raise ValueError("new_servers must be non-negative")
+        self.stage += 1
+        spent = 0.0
+
+        racks_needed = (
+            -(-new_servers // self.servers_per_switch) if new_servers else 0
+        )
+
+        if self.topology is None:
+            if racks_needed < 3:
+                raise ValueError("the initial stage must add at least three racks")
+            self._bootstrap(racks_needed)
+            spent += racks_needed * self._switch_addition_cost(self.servers_per_switch)
+            racks_needed = 0
+        else:
+            for _ in range(racks_needed):
+                cost = self._switch_addition_cost(self.servers_per_switch)
+                self._add_switch(self.servers_per_switch)
+                spent += cost
+
+        # Remaining budget buys capacity-only switches (no servers attached).
+        while True:
+            cost = self._switch_addition_cost(0)
+            if spent + cost > budget:
+                break
+            self._add_switch(0)
+            spent += cost
+
+        self.cumulative_cost += spent
+        state = JellyfishExpansionState(
+            stage=self.stage,
+            num_switches=self.topology.num_switches,
+            num_servers=self.topology.num_servers,
+            cumulative_cost=self.cumulative_cost,
+            budget_spent_this_stage=spent,
+            normalized_bisection=self.normalized_bisection(),
+        )
+        self.history.append(state)
+        return state
+
+    def normalized_bisection(self) -> float:
+        """Kernighan–Lin estimate of the bisection, normalized by server bandwidth."""
+        if self.topology is None or self.topology.num_servers == 0:
+            return 0.0
+        bisection = estimate_bisection_bandwidth(
+            self.topology.graph, trials=self.bisection_trials, rng=self.rng
+        )
+        return bisection / (self.topology.num_servers / 2.0)

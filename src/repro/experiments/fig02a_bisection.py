@@ -1,0 +1,61 @@
+"""Fig 2(a): normalized bisection bandwidth vs number of servers (equal cost).
+
+For fixed switching equipment -- N switches of k ports -- Jellyfish trades
+servers against network degree: hosting S servers leaves r = k - S/N ports
+per switch for the random interconnect.  The Bollobás lower bound gives the
+bisection bandwidth of the resulting RRG, normalized by the server bandwidth
+in one partition.  The fat-tree built from the same equipment appears as a
+single point: k^3/4 servers at normalized bisection 1.0.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.common import ExperimentResult
+from repro.graphs.bisection import bollobas_bisection_lower_bound
+from repro.topologies.fattree import fattree_num_servers
+
+_SCALES = {
+    "small": [(720, 24), (1280, 32)],
+    "paper": [(720, 24), (1280, 32), (2880, 48)],
+}
+
+
+def jellyfish_curve_point(num_switches: int, ports: int, num_servers: int) -> float:
+    """Normalized bisection bandwidth of RRG equipment hosting ``num_servers``."""
+    servers_per_switch = num_servers / num_switches
+    network_degree = ports - math.ceil(servers_per_switch)
+    if network_degree <= 0:
+        return 0.0
+    bound = bollobas_bisection_lower_bound(num_switches, network_degree)
+    return bound / (num_servers / 2.0)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    """Equal-cost curves of normalized bisection bandwidth vs servers."""
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    configs = _SCALES[scale]
+
+    result = ExperimentResult(
+        experiment_id="fig02a",
+        title="Normalized bisection bandwidth vs servers (equal equipment)",
+        columns=[
+            "num_switches",
+            "ports",
+            "servers",
+            "jellyfish_normalized_bisection",
+            "fattree_servers_same_equipment",
+        ],
+        notes="fat-tree reference point has normalized bisection 1.0 by construction",
+    )
+    for num_switches, ports in configs:
+        fattree_servers = fattree_num_servers(ports)
+        max_servers = num_switches * (ports - 1)
+        steps = 12
+        for step in range(1, steps + 1):
+            servers = int(round(step * max_servers / steps))
+            value = jellyfish_curve_point(num_switches, ports, servers)
+            result.add_row(num_switches, ports, servers, value, fattree_servers)
+    return result

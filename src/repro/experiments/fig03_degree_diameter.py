@@ -1,0 +1,86 @@
+"""Fig 3: Jellyfish vs best-known degree-diameter graphs.
+
+The paper attaches servers to both graphs (same switch count, port count and
+network degree) and measures normalized random-permutation throughput under
+optimal routing, finding Jellyfish within ~91% of the carefully optimized
+benchmark in the worst case.  The benchmark graphs here are exact classical
+constructions where available and local-search-optimized graphs otherwise
+(DESIGN.md, substitution 4).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.flow.throughput import normalized_throughput
+from repro.topologies.degree_diameter import DegreeDiameterTopology
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.traffic.matrices import random_permutation_traffic
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import mean
+
+# (num_switches, ports_per_switch, network_degree) as labelled on the paper's x-axis.
+_SCALES = {
+    "small": {"configs": [(50, 11, 7), (72, 7, 5)], "trials": 2, "iterations": 300},
+    "paper": {
+        "configs": [
+            (132, 4, 3),
+            (72, 7, 5),
+            (98, 6, 4),
+            (50, 11, 7),
+            (111, 8, 6),
+            (212, 7, 5),
+            (168, 10, 7),
+            (104, 16, 11),
+            (198, 24, 16),
+        ],
+        "trials": 5,
+        "iterations": 2000,
+    },
+}
+
+
+def _throughput(topology, trials, rng) -> float:
+    values = []
+    for _ in range(trials):
+        traffic = random_permutation_traffic(topology, rng=rng)
+        values.append(normalized_throughput(topology, traffic, engine="path", k=8).normalized)
+    return mean(values)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    config = _SCALES[scale]
+    rng = ensure_rng(seed)
+
+    result = ExperimentResult(
+        experiment_id="fig03",
+        title="Normalized throughput: best-known degree-diameter graph vs Jellyfish",
+        columns=[
+            "config (switches, ports, degree)",
+            "degree_diameter_throughput",
+            "jellyfish_throughput",
+            "jellyfish_fraction_of_benchmark",
+        ],
+    )
+    for num_switches, ports, degree in config["configs"]:
+        benchmark = DegreeDiameterTopology.build(
+            num_switches,
+            ports,
+            degree,
+            rng=rng,
+            iterations=config["iterations"],
+        )
+        jellyfish = JellyfishTopology.build(
+            num_switches, ports, degree, rng=rng
+        )
+        bench_throughput = _throughput(benchmark, config["trials"], rng)
+        jelly_throughput = _throughput(jellyfish, config["trials"], rng)
+        ratio = jelly_throughput / bench_throughput if bench_throughput else 0.0
+        result.add_row(
+            f"({num_switches}, {ports}, {degree})",
+            bench_throughput,
+            jelly_throughput,
+            ratio,
+        )
+    return result

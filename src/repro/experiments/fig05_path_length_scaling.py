@@ -1,0 +1,76 @@
+"""Fig 5: path length vs network size; from-scratch vs incrementally grown.
+
+The paper uses 48-port switches with r = 36 network ports (12 servers each)
+and grows the network from 100 to 3,200 switches, showing (a) the mean
+switch-to-switch path length stays below ~2.7 and the diameter at most 4,
+and (b) topologies grown incrementally from a small seed match topologies
+built from scratch.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.graphs.properties import average_path_length, diameter
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.utils.rng import ensure_rng
+
+_SCALES = {
+    "small": {
+        "ports": 12,
+        "network_degree": 9,
+        "switch_counts": [20, 40, 80],
+    },
+    "paper": {
+        "ports": 48,
+        "network_degree": 36,
+        "switch_counts": [100, 400, 800, 1600, 3200],
+    },
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    config = _SCALES[scale]
+    rng = ensure_rng(seed)
+    ports = config["ports"]
+    degree = config["network_degree"]
+    servers_per_switch = ports - degree
+    counts = config["switch_counts"]
+
+    result = ExperimentResult(
+        experiment_id="fig05",
+        title=f"Path length vs servers (k={ports}, r={degree}): from scratch vs expanded",
+        columns=[
+            "num_servers",
+            "scratch_mean_path",
+            "scratch_diameter",
+            "expanded_mean_path",
+            "expanded_diameter",
+        ],
+    )
+
+    # Incrementally grown topology starting from the smallest size.
+    grown = JellyfishTopology.build(
+        counts[0], ports, degree, rng=rng, servers_per_switch=servers_per_switch
+    )
+    for index, count in enumerate(counts):
+        scratch = JellyfishTopology.build(
+            count, ports, degree, rng=rng, servers_per_switch=servers_per_switch
+        )
+        if index > 0:
+            grown.expand(
+                count - grown.num_switches,
+                ports,
+                servers_per_switch,
+                rng=rng,
+                prefix=f"stage{index}",
+            )
+        result.add_row(
+            count * servers_per_switch,
+            average_path_length(scratch.graph),
+            diameter(scratch.graph),
+            average_path_length(grown.graph),
+            diameter(grown.graph),
+        )
+    return result

@@ -1,0 +1,78 @@
+"""Fig 6: incrementally built Jellyfish matches Jellyfish built from scratch.
+
+The paper grows a network from 20 to 160 switches in increments of 20
+(12-port switches, 4 servers each) and compares normalized per-server
+throughput of the incrementally grown topologies against topologies built
+from scratch at each size; the curves coincide.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.flow.throughput import normalized_throughput
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.traffic.matrices import random_permutation_traffic
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import mean
+
+_SCALES = {
+    "small": {"increment": 10, "stages": 3, "trials": 2},
+    "paper": {"increment": 20, "stages": 8, "trials": 20},
+}
+
+_PORTS = 12
+_SERVERS_PER_SWITCH = 4
+_NETWORK_DEGREE = _PORTS - _SERVERS_PER_SWITCH
+
+
+def _throughput(topology, trials, rng) -> float:
+    values = []
+    for _ in range(trials):
+        traffic = random_permutation_traffic(topology, rng=rng)
+        values.append(
+            normalized_throughput(topology, traffic, engine="path", k=8).normalized
+        )
+    return mean(values)
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    config = _SCALES[scale]
+    rng = ensure_rng(seed)
+    increment = config["increment"]
+    stages = config["stages"]
+    trials = config["trials"]
+
+    result = ExperimentResult(
+        experiment_id="fig06",
+        title="Incrementally grown vs from-scratch Jellyfish throughput",
+        columns=[
+            "num_switches",
+            "num_servers",
+            "incremental_throughput",
+            "from_scratch_throughput",
+        ],
+    )
+
+    grown = JellyfishTopology.build(
+        increment, _PORTS, _NETWORK_DEGREE,
+        rng=rng, servers_per_switch=_SERVERS_PER_SWITCH,
+    )
+    for stage in range(1, stages + 1):
+        count = increment * stage
+        if stage > 1:
+            grown.expand(
+                increment, _PORTS, _SERVERS_PER_SWITCH, rng=rng, prefix=f"stage{stage}"
+            )
+        scratch = JellyfishTopology.build(
+            count, _PORTS, _NETWORK_DEGREE,
+            rng=rng, servers_per_switch=_SERVERS_PER_SWITCH,
+        )
+        result.add_row(
+            count,
+            count * _SERVERS_PER_SWITCH,
+            _throughput(grown, trials, rng),
+            _throughput(scratch, trials, rng),
+        )
+    return result

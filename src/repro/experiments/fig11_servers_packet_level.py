@@ -1,0 +1,109 @@
+"""Fig 11: servers supported at the fat-tree's throughput, with real routing + CC.
+
+The packet-level counterpart of Fig 2(c): for each equipment pool (a
+fat-tree of k-port switches) find, by binary search, the largest Jellyfish
+server count whose average per-server throughput under 8-shortest-path
+routing with MPTCP is at least the fat-tree's under ECMP with MPTCP.  The
+paper reports >25% more servers at its largest simulated size.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import ExperimentResult
+from repro.simulation.fluid import MPTCP, SimulationConfig, simulate_fluid
+from repro.topologies.fattree import FatTreeTopology
+from repro.topologies.jellyfish import JellyfishTopology
+from repro.traffic.matrices import random_permutation_traffic
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import mean
+
+_SCALES = {
+    "small": {"port_counts": [4, 6], "trials": 2},
+    "paper": {"port_counts": [6, 8, 10, 12, 14], "trials": 5},
+}
+
+
+def _average_throughput(topology, config, trials, rng) -> float:
+    values = []
+    for _ in range(trials):
+        traffic = random_permutation_traffic(topology, rng=rng)
+        values.append(simulate_fluid(topology, traffic, config, rng=rng).average_throughput)
+    return mean(values)
+
+
+def max_jellyfish_servers_matching(
+    num_switches: int,
+    ports: int,
+    target_throughput: float,
+    lower: int,
+    upper: int,
+    trials: int,
+    rng,
+) -> int:
+    """Binary-search the largest server count whose throughput >= target."""
+    jellyfish_config = SimulationConfig(routing="ksp", k=8, congestion_control=MPTCP)
+
+    def feasible(servers: int) -> bool:
+        topology = JellyfishTopology.from_equipment(
+            num_switches=num_switches, ports_per_switch=ports,
+            num_servers=servers, rng=rng,
+        )
+        if not topology.is_connected():
+            return False
+        return _average_throughput(topology, jellyfish_config, trials, rng) >= target_throughput
+
+    if not feasible(lower):
+        return lower
+    if feasible(upper):
+        return upper
+    low, high = lower, upper
+    while high - low > 1:
+        middle = (low + high) // 2
+        if feasible(middle):
+            low = middle
+        else:
+            high = middle
+    return low
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    config = _SCALES[scale]
+    rng = ensure_rng(seed)
+    trials = config["trials"]
+    fattree_config = SimulationConfig(routing="ecmp", k=8, congestion_control=MPTCP)
+
+    result = ExperimentResult(
+        experiment_id="fig11",
+        title="Servers at the fat-tree's throughput, with routing and congestion control",
+        columns=[
+            "ports_per_switch",
+            "equipment_total_ports",
+            "fattree_servers",
+            "fattree_throughput",
+            "jellyfish_servers",
+            "jellyfish_advantage",
+        ],
+    )
+    for ports in config["port_counts"]:
+        fattree = FatTreeTopology.build(ports)
+        target = _average_throughput(fattree, fattree_config, trials, rng)
+        best = max_jellyfish_servers_matching(
+            num_switches=fattree.num_switches,
+            ports=ports,
+            target_throughput=target,
+            lower=max(2, fattree.num_servers // 2),
+            upper=fattree.num_switches * max(1, ports - 3),
+            trials=trials,
+            rng=rng,
+        )
+        result.add_row(
+            ports,
+            fattree.total_ports,
+            fattree.num_servers,
+            target,
+            best,
+            best / fattree.num_servers,
+        )
+    return result

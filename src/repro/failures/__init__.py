@@ -1,0 +1,13 @@
+"""Failure injection (paper Section 4.3, Fig 8)."""
+
+from repro.failures.injection import (
+    fail_random_links,
+    fail_random_switches,
+    throughput_under_link_failures,
+)
+
+__all__ = [
+    "fail_random_links",
+    "fail_random_switches",
+    "throughput_under_link_failures",
+]

@@ -1,0 +1,175 @@
+"""Max-min fair bandwidth allocation (progressive filling / water-filling).
+
+This is the congestion-control substrate for the fluid simulator: a set of
+subflows, each pinned to a single path, share link capacities fairly.  The
+allocation is computed by progressive filling -- all unfrozen subflow rates
+rise together until a link saturates (its subflows freeze) or a flow reaches
+its aggregate demand cap (all of its subflows freeze).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+Path = Tuple[Hashable, ...]
+DirectedLink = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class FlowSpec:
+    """A flow with one or more subflow paths and an aggregate demand cap.
+
+    ``subflow_caps`` optionally caps each subflow individually (used to model
+    applications that stripe data evenly over parallel TCP connections, as
+    opposed to MPTCP which rebalances freely within the aggregate cap).
+    """
+
+    flow_id: Hashable
+    paths: List[Path]
+    demand: float = 1.0
+    subflow_caps: Optional[List[float]] = None
+
+    def __post_init__(self) -> None:
+        if not self.paths:
+            raise ValueError(f"flow {self.flow_id!r} has no paths")
+        if self.demand <= 0:
+            raise ValueError(f"flow {self.flow_id!r} has non-positive demand")
+        if self.subflow_caps is not None and len(self.subflow_caps) != len(self.paths):
+            raise ValueError(
+                f"flow {self.flow_id!r}: subflow_caps length must match paths"
+            )
+
+
+@dataclass
+class Allocation:
+    """Result of a max-min fair allocation."""
+
+    flow_rates: Dict[Hashable, float] = field(default_factory=dict)
+    subflow_rates: Dict[Tuple[Hashable, int], float] = field(default_factory=dict)
+    link_loads: Dict[DirectedLink, float] = field(default_factory=dict)
+
+    def total_throughput(self) -> float:
+        return sum(self.flow_rates.values())
+
+
+def _path_links(path: Path) -> List[DirectedLink]:
+    return list(zip(path, path[1:]))
+
+
+def max_min_fair_allocation(
+    flows: Sequence[FlowSpec],
+    link_capacity: Dict[DirectedLink, float],
+    default_capacity: float = 1.0,
+    epsilon: float = 1e-9,
+) -> Allocation:
+    """Compute max-min fair rates by progressive filling.
+
+    ``link_capacity`` maps directed links (u, v) to capacity; links absent
+    from the map get ``default_capacity``.  Every subflow of every flow is a
+    claimant on the links of its path.  Rates rise uniformly; subflows freeze
+    when a link on their path saturates, when their own cap is reached, or
+    when the aggregate flow demand is met.
+    """
+    # Subflow bookkeeping.
+    subflow_paths: Dict[Tuple[Hashable, int], List[DirectedLink]] = {}
+    subflow_cap: Dict[Tuple[Hashable, int], float] = {}
+    flow_of: Dict[Tuple[Hashable, int], Hashable] = {}
+    flow_demand: Dict[Hashable, float] = {}
+
+    for flow in flows:
+        flow_demand[flow.flow_id] = flow.demand
+        for index, path in enumerate(flow.paths):
+            key = (flow.flow_id, index)
+            links = _path_links(path)
+            subflow_paths[key] = links
+            flow_of[key] = flow.flow_id
+            if flow.subflow_caps is not None:
+                subflow_cap[key] = flow.subflow_caps[index]
+            else:
+                subflow_cap[key] = flow.demand
+
+    rates: Dict[Tuple[Hashable, int], float] = {key: 0.0 for key in subflow_paths}
+    active = {key for key, links in subflow_paths.items() if links}
+    # Subflows whose path is empty (same-switch traffic) get their cap outright.
+    for key, links in subflow_paths.items():
+        if not links:
+            rates[key] = min(subflow_cap[key], flow_demand[flow_of[key]])
+
+    residual: Dict[DirectedLink, float] = {}
+    claimants: Dict[DirectedLink, set] = {}
+    for key in active:
+        for link in subflow_paths[key]:
+            residual.setdefault(link, link_capacity.get(link, default_capacity))
+            claimants.setdefault(link, set()).add(key)
+
+    flow_rate: Dict[Hashable, float] = {flow.flow_id: 0.0 for flow in flows}
+    for key, rate in rates.items():
+        flow_rate[flow_of[key]] += rate
+
+    def freeze(key: Tuple[Hashable, int]) -> None:
+        active.discard(key)
+        for link in subflow_paths[key]:
+            claimants[link].discard(key)
+
+    while active:
+        # Largest uniform increment permitted by links, subflow caps and
+        # aggregate flow demands.
+        increment = None
+
+        for link, users in claimants.items():
+            live = [u for u in users if u in active]
+            if not live:
+                continue
+            candidate = residual[link] / len(live)
+            if increment is None or candidate < increment:
+                increment = candidate
+
+        active_per_flow: Dict[Hashable, int] = {}
+        for key in active:
+            active_per_flow[flow_of[key]] = active_per_flow.get(flow_of[key], 0) + 1
+
+        for key in active:
+            candidate = subflow_cap[key] - rates[key]
+            if increment is None or candidate < increment:
+                increment = candidate
+        for flow_id, count in active_per_flow.items():
+            remaining = flow_demand[flow_id] - flow_rate[flow_id]
+            candidate = remaining / count
+            if increment is None or candidate < increment:
+                increment = candidate
+
+        if increment is None:
+            break
+        increment = max(increment, 0.0)
+
+        # Apply the increment.
+        for key in list(active):
+            rates[key] += increment
+            flow_rate[flow_of[key]] += increment
+        for link in residual:
+            live = sum(1 for u in claimants[link] if u in active)
+            residual[link] -= increment * live
+
+        # Freeze saturated claimants.
+        newly_frozen = set()
+        for link, users in claimants.items():
+            if residual[link] <= epsilon:
+                newly_frozen.update(u for u in users if u in active)
+        for key in list(active):
+            if rates[key] >= subflow_cap[key] - epsilon:
+                newly_frozen.add(key)
+            elif flow_rate[flow_of[key]] >= flow_demand[flow_of[key]] - epsilon:
+                newly_frozen.add(key)
+        if not newly_frozen and increment <= epsilon:
+            # No progress possible; avoid an infinite loop.
+            break
+        for key in newly_frozen:
+            freeze(key)
+
+    link_loads: Dict[DirectedLink, float] = {}
+    for key, rate in rates.items():
+        for link in subflow_paths[key]:
+            link_loads[link] = link_loads.get(link, 0.0) + rate
+
+    return Allocation(flow_rates=flow_rate, subflow_rates=rates, link_loads=link_loads)

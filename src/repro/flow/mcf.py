@@ -1,0 +1,129 @@
+"""Exact max-concurrent-flow LP (edge-based formulation).
+
+This reproduces the paper's "optimal routing" evaluation: given a topology
+and a traffic matrix, find the largest scaling factor theta such that
+theta times every demand can be routed simultaneously without exceeding any
+link capacity, treating flows as splittable fluids.  The paper solves this
+with CPLEX; we solve the identical LP with scipy's HiGHS backend.
+
+Formulation (source-aggregated multi-commodity flow):
+
+* every undirected link becomes two directed arcs of the same capacity;
+* commodities are grouped by source switch ``s``; variable ``f[s, a]`` is the
+  amount of commodity-group ``s`` flow on arc ``a``;
+* flow conservation at node ``v`` for group ``s``:
+  ``inflow - outflow = theta * demand(s, v)`` for ``v != s`` and
+  ``outflow - inflow = theta * total_demand(s)`` for ``v == s``;
+* capacity: ``sum_s f[s, a] <= capacity(a)``;
+* objective: maximize ``theta``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import lil_matrix
+
+from repro.topologies.base import Topology
+from repro.traffic.matrices import TrafficMatrix
+
+
+class FlowSolverError(RuntimeError):
+    """Raised when the LP solver fails to find an optimal solution."""
+
+
+def _directed_arcs(topology: Topology) -> List[Tuple[Hashable, Hashable, float]]:
+    """Both orientations of every switch link with their capacities."""
+    arcs = []
+    for u, v, data in topology.graph.edges(data=True):
+        capacity = float(data.get("capacity", 1.0))
+        arcs.append((u, v, capacity))
+        arcs.append((v, u, capacity))
+    return arcs
+
+
+def max_concurrent_flow_edge_lp(
+    topology: Topology, traffic: TrafficMatrix
+) -> float:
+    """Return the optimal concurrent-flow scaling factor ``theta``.
+
+    ``theta >= 1`` means the topology supports the full traffic matrix at
+    line rate under ideal (splittable, fluid) routing.
+    """
+    demands = traffic.switch_pairs()
+    if not demands:
+        return float("inf")
+
+    arcs = _directed_arcs(topology)
+    if not arcs:
+        raise FlowSolverError("topology has no links but traffic crosses switches")
+    arc_index = {(u, v): i for i, (u, v, _) in enumerate(arcs)}
+    nodes = list(topology.graph.nodes)
+    node_index = {node: i for i, node in enumerate(nodes)}
+
+    sources = sorted({src for src, _ in demands}, key=str)
+    source_index = {src: i for i, src in enumerate(sources)}
+    num_arcs = len(arcs)
+    num_sources = len(sources)
+    num_nodes = len(nodes)
+
+    # Variables: f[s, a] for every source group and arc, then theta (last).
+    num_flow_vars = num_sources * num_arcs
+    theta_var = num_flow_vars
+    num_vars = num_flow_vars + 1
+
+    def var(source: Hashable, arc: int) -> int:
+        return source_index[source] * num_arcs + arc
+
+    # Demand bookkeeping per source.
+    demand_to: Dict[Hashable, Dict[Hashable, float]] = {s: {} for s in sources}
+    total_from: Dict[Hashable, float] = {s: 0.0 for s in sources}
+    for (src, dst), rate in demands.items():
+        demand_to[src][dst] = demand_to[src].get(dst, 0.0) + rate
+        total_from[src] += rate
+
+    # Equality constraints: conservation for every (source group, node).
+    num_eq = num_sources * num_nodes
+    a_eq = lil_matrix((num_eq, num_vars))
+    b_eq = np.zeros(num_eq)
+    for s in sources:
+        base = source_index[s] * num_nodes
+        for arc_id, (u, v, _) in enumerate(arcs):
+            column = var(s, arc_id)
+            # Arc u -> v: outflow at u, inflow at v.
+            a_eq[base + node_index[u], column] -= 1.0
+            a_eq[base + node_index[v], column] += 1.0
+        for node in nodes:
+            row = base + node_index[node]
+            if node == s:
+                # outflow - inflow = theta * total  ->  (in - out) + theta*total = 0
+                a_eq[row, theta_var] = total_from[s]
+            else:
+                # inflow - outflow = theta * demand(s, node)
+                a_eq[row, theta_var] = -demand_to[s].get(node, 0.0)
+
+    # Inequality constraints: capacity per arc.
+    a_ub = lil_matrix((num_arcs, num_vars))
+    b_ub = np.zeros(num_arcs)
+    for arc_id, (_, _, capacity) in enumerate(arcs):
+        for s in sources:
+            a_ub[arc_id, var(s, arc_id)] = 1.0
+        b_ub[arc_id] = capacity
+
+    objective = np.zeros(num_vars)
+    objective[theta_var] = -1.0  # maximize theta
+
+    result = linprog(
+        objective,
+        A_ub=a_ub.tocsr(),
+        b_ub=b_ub,
+        A_eq=a_eq.tocsr(),
+        b_eq=b_eq,
+        bounds=[(0, None)] * num_vars,
+        method="highs",
+    )
+    if not result.success:
+        raise FlowSolverError(f"LP solver failed: {result.message}")
+    return float(result.x[theta_var])

@@ -1,0 +1,152 @@
+"""Throughput harness: normalized throughput and servers-at-full-capacity.
+
+Implements the paper's evaluation methodology (Section 4):
+
+* :func:`normalized_throughput` -- solve the max-concurrent-flow problem for
+  a random-permutation traffic matrix and report the per-flow normalized
+  throughput in [0, 1] (the concurrent factor theta, capped at 1).
+* :func:`supports_full_throughput` -- check that a topology carries several
+  independently sampled permutation matrices at full line rate.
+* :func:`max_servers_at_full_throughput` -- the binary-search procedure used
+  for Fig 2(c) and Fig 11: find the largest server count a topology family
+  supports at full capacity, then verify with extra matrices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from repro.flow.mcf import max_concurrent_flow_edge_lp
+from repro.flow.path_lp import max_concurrent_flow_path_lp
+from repro.topologies.base import Topology
+from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
+from repro.utils.rng import RngLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """Outcome of a throughput evaluation for one topology and one matrix."""
+
+    theta: float
+    normalized: float
+    num_flows: int
+
+    def supports_full_capacity(self) -> bool:
+        return self.theta >= 1.0 - 1e-9
+
+
+def concurrent_flow(
+    topology: Topology,
+    traffic: TrafficMatrix,
+    engine: str = "path",
+    k: int = 8,
+) -> float:
+    """Concurrent-flow factor theta using the selected LP engine."""
+    if engine == "edge":
+        return max_concurrent_flow_edge_lp(topology, traffic)
+    if engine == "path":
+        return max_concurrent_flow_path_lp(topology, traffic, k=k)
+    raise ValueError(f"unknown engine {engine!r}; expected 'edge' or 'path'")
+
+
+def normalized_throughput(
+    topology: Topology,
+    traffic: Optional[TrafficMatrix] = None,
+    engine: str = "path",
+    k: int = 8,
+    rng: RngLike = None,
+) -> ThroughputResult:
+    """Normalized per-flow throughput under optimal (LP) routing.
+
+    If ``traffic`` is omitted, a random permutation matrix is sampled.
+    """
+    if traffic is None:
+        traffic = random_permutation_traffic(topology, rng=rng)
+    if len(traffic) == 0:
+        return ThroughputResult(theta=float("inf"), normalized=1.0, num_flows=0)
+    theta = concurrent_flow(topology, traffic, engine=engine, k=k)
+    return ThroughputResult(
+        theta=theta, normalized=min(theta, 1.0), num_flows=len(traffic)
+    )
+
+
+def supports_full_throughput(
+    topology: Topology,
+    num_matrices: int = 3,
+    engine: str = "path",
+    k: int = 8,
+    rng: RngLike = None,
+) -> bool:
+    """True if the topology carries ``num_matrices`` random permutations at line rate.
+
+    A disconnected topology (which can arise when very few ports per switch
+    remain for the network) can never carry permutation traffic between all
+    of its servers, so it is reported as infeasible outright.
+    """
+    rand = ensure_rng(rng)
+    if not topology.is_connected():
+        return False
+    for _ in range(num_matrices):
+        result = normalized_throughput(topology, engine=engine, k=k, rng=rand)
+        if not result.supports_full_capacity():
+            return False
+    return True
+
+
+def max_servers_at_full_throughput(
+    topology_factory: Callable[[int], Topology],
+    lower: int,
+    upper: int,
+    num_matrices: int = 3,
+    verification_matrices: int = 0,
+    engine: str = "path",
+    k: int = 8,
+    rng: RngLike = None,
+) -> int:
+    """Binary-search the largest server count supported at full capacity.
+
+    ``topology_factory(num_servers)`` must build a topology hosting that many
+    servers from the fixed equipment pool under study.  The search assumes
+    monotonicity (more servers -> harder to support), mirroring the paper's
+    procedure, and optionally verifies the result against additional
+    matrices.
+    """
+    if lower > upper:
+        raise ValueError("lower bound exceeds upper bound")
+    rand = ensure_rng(rng)
+
+    def feasible(num_servers: int) -> bool:
+        topology = topology_factory(num_servers)
+        return supports_full_throughput(
+            topology, num_matrices=num_matrices, engine=engine, k=k, rng=rand
+        )
+
+    if not feasible(lower):
+        raise ValueError(f"even the lower bound of {lower} servers is infeasible")
+
+    low, high = lower, upper
+    if feasible(upper):
+        best = upper
+    else:
+        # Invariant: low feasible, high infeasible.
+        while high - low > 1:
+            middle = (low + high) // 2
+            if feasible(middle):
+                low = middle
+            else:
+                high = middle
+        best = low
+
+    if verification_matrices > 0:
+        topology = topology_factory(best)
+        if not supports_full_throughput(
+            topology,
+            num_matrices=verification_matrices,
+            engine=engine,
+            k=k,
+            rng=rand,
+        ):
+            # Fall back conservatively if the verification fails.
+            best = max(lower, best - 1)
+    return best

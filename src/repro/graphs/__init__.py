@@ -1,0 +1,31 @@
+"""Graph-level building blocks: random regular graphs, metrics, bisection."""
+
+from repro.graphs.bisection import (
+    bollobas_bisection_lower_bound,
+    estimate_bisection_bandwidth,
+    exact_bisection_bandwidth,
+)
+from repro.graphs.properties import (
+    average_path_length,
+    degree_histogram,
+    diameter,
+    is_connected,
+    path_length_distribution,
+)
+from repro.graphs.regular import (
+    random_regular_graph,
+    sequential_random_regular_graph,
+)
+
+__all__ = [
+    "bollobas_bisection_lower_bound",
+    "estimate_bisection_bandwidth",
+    "exact_bisection_bandwidth",
+    "average_path_length",
+    "degree_histogram",
+    "diameter",
+    "is_connected",
+    "path_length_distribution",
+    "random_regular_graph",
+    "sequential_random_regular_graph",
+]

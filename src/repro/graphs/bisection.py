@@ -1,0 +1,141 @@
+"""Bisection bandwidth computations.
+
+Three tools matching the paper's evaluation methodology:
+
+* :func:`bollobas_bisection_lower_bound` -- the analytic lower bound of
+  Bollobás (1988) used for Fig 2(a) and 2(b): in almost every r-regular
+  graph on N nodes, every set of N/2 nodes is joined to the rest by at least
+  ``N * (r/4 - sqrt(r * ln 2) / 2)`` edges.
+* :func:`estimate_bisection_bandwidth` -- a Kernighan–Lin-style heuristic
+  that searches for a small balanced cut in a concrete graph (upper bound on
+  the true bisection width); used for the LEGUP comparison (Fig 7) where
+  concrete expanded topologies are measured.
+* :func:`exact_bisection_bandwidth` -- brute-force over all balanced
+  partitions, only feasible for tiny graphs; used by the test suite to
+  validate the heuristic.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from typing import Iterable, Optional, Set, Tuple
+
+import networkx as nx
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def bollobas_bisection_lower_bound(num_nodes: int, degree: int) -> float:
+    """Bollobás' lower bound on the bisection width of an r-regular graph.
+
+    Returns the minimum number of edges crossing any balanced partition, for
+    almost every ``degree``-regular graph on ``num_nodes`` nodes:
+    ``N * (r/4 - sqrt(r * ln 2) / 2)``.  The bound can be negative for very
+    small degrees, in which case it is clamped to zero.
+    """
+    if num_nodes < 0 or degree < 0:
+        raise ValueError("num_nodes and degree must be non-negative")
+    bound = num_nodes * (degree / 4.0 - math.sqrt(degree * math.log(2)) / 2.0)
+    return max(0.0, bound)
+
+
+def cut_size(graph: nx.Graph, partition: Set) -> int:
+    """Number of edges with exactly one endpoint inside ``partition``."""
+    count = 0
+    for u, v in graph.edges:
+        if (u in partition) != (v in partition):
+            count += 1
+    return count
+
+
+def exact_bisection_bandwidth(graph: nx.Graph) -> int:
+    """Exact bisection width by exhaustive search (tiny graphs only).
+
+    The graph must have an even number of nodes.  Complexity is
+    C(n, n/2) cut evaluations, so this is reserved for validation tests.
+    """
+    nodes = list(graph.nodes)
+    if len(nodes) % 2 != 0:
+        raise ValueError("exact bisection requires an even number of nodes")
+    if not nodes:
+        return 0
+    if len(nodes) > 20:
+        raise ValueError("exact bisection is only supported for <= 20 nodes")
+    half = len(nodes) // 2
+    anchor = nodes[0]
+    rest = nodes[1:]
+    best = None
+    for combo in itertools.combinations(rest, half - 1):
+        partition = set(combo) | {anchor}
+        size = cut_size(graph, partition)
+        if best is None or size < best:
+            best = size
+    return best if best is not None else 0
+
+
+def _kernighan_lin_once(graph: nx.Graph, rng) -> Tuple[Set, int]:
+    """One randomized Kernighan–Lin bisection refinement pass."""
+    nodes = list(graph.nodes)
+    rng.shuffle(nodes)
+    half = len(nodes) // 2
+    side_a = set(nodes[:half])
+    partition = nx.algorithms.community.kernighan_lin_bisection(
+        graph, partition=(side_a, set(nodes[half:])), seed=rng.randrange(2**32)
+    )
+    best_side = set(partition[0])
+    return best_side, cut_size(graph, best_side)
+
+
+def estimate_bisection_bandwidth(
+    graph: nx.Graph,
+    trials: int = 5,
+    rng: RngLike = None,
+    weight_per_edge: float = 1.0,
+) -> float:
+    """Heuristic (upper-bound) estimate of the bisection bandwidth.
+
+    Runs ``trials`` randomized Kernighan–Lin bisections and returns the
+    smallest cut found, scaled by ``weight_per_edge`` (link capacity).
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if graph.number_of_nodes() < 2:
+        return 0.0
+    rand = ensure_rng(rng)
+    best: Optional[int] = None
+    for _ in range(trials):
+        _, size = _kernighan_lin_once(graph, rand)
+        if best is None or size < best:
+            best = size
+    return float(best) * weight_per_edge if best is not None else 0.0
+
+
+def normalized_bisection_bandwidth(
+    bisection_edges: float, num_servers: int, server_line_rate: float = 1.0
+) -> float:
+    """Normalize a bisection width by the server bandwidth in one partition.
+
+    The paper divides the bisection bandwidth by the total line-rate
+    bandwidth of the servers in one partition (values > 1 indicate
+    overprovisioning).
+    """
+    if num_servers <= 0:
+        raise ValueError("num_servers must be positive")
+    one_side = num_servers / 2.0
+    return bisection_edges / (one_side * server_line_rate)
+
+
+def jellyfish_normalized_bisection(
+    num_switches: int, ports_per_switch: int, network_degree: int
+) -> float:
+    """Normalized bisection bandwidth of RRG(N, k, r) via the Bollobás bound.
+
+    Servers per switch is ``k - r``; the bound is normalized by the servers
+    in one partition, i.e. ``N * (k - r) / 2``.
+    """
+    servers = num_switches * (ports_per_switch - network_degree)
+    if servers <= 0:
+        raise ValueError("topology has no servers (k - r must be positive)")
+    bound = bollobas_bisection_lower_bound(num_switches, network_degree)
+    return normalized_bisection_bandwidth(bound, servers)

@@ -1,0 +1,109 @@
+"""Structural graph metrics used throughout the evaluation.
+
+The paper's Figures 1(c) and 5 report server-to-server and switch-to-switch
+path-length distributions, means and diameters.  The helpers here compute
+them with plain BFS (all edges have unit length), which is exact and fast
+enough for the scales the paper simulates.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from typing import Dict, Iterable, Optional
+
+import networkx as nx
+
+
+def is_connected(graph: nx.Graph) -> bool:
+    """True if ``graph`` is connected (an empty graph counts as connected)."""
+    if graph.number_of_nodes() == 0:
+        return True
+    return nx.is_connected(graph)
+
+
+def bfs_distances(graph: nx.Graph, source) -> Dict:
+    """Hop distances from ``source`` to every reachable node (including itself)."""
+    distances = {source: 0}
+    queue = deque([source])
+    while queue:
+        node = queue.popleft()
+        for neighbor in graph.neighbors(node):
+            if neighbor not in distances:
+                distances[neighbor] = distances[node] + 1
+                queue.append(neighbor)
+    return distances
+
+
+def path_length_distribution(
+    graph: nx.Graph, nodes: Optional[Iterable] = None
+) -> Counter:
+    """Histogram of pairwise shortest-path lengths between distinct nodes.
+
+    ``nodes`` restricts the computation to ordered pairs drawn from that
+    subset (e.g. only ToR switches that host servers).  Unreachable pairs are
+    ignored.  Each unordered pair is counted once.
+    """
+    targets = set(graph.nodes) if nodes is None else set(nodes)
+    histogram: Counter = Counter()
+    seen = set()
+    for source in targets:
+        seen.add(source)
+        distances = bfs_distances(graph, source)
+        for destination, hops in distances.items():
+            if destination in seen or destination not in targets:
+                continue
+            histogram[hops] += 1
+    return histogram
+
+
+def average_path_length(graph: nx.Graph, nodes: Optional[Iterable] = None) -> float:
+    """Mean shortest-path length over distinct reachable node pairs."""
+    histogram = path_length_distribution(graph, nodes)
+    total_pairs = sum(histogram.values())
+    if total_pairs == 0:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    return sum(hops * count for hops, count in histogram.items()) / total_pairs
+
+
+def diameter(graph: nx.Graph, nodes: Optional[Iterable] = None) -> int:
+    """Longest shortest path among the requested nodes (graph must connect them)."""
+    histogram = path_length_distribution(graph, nodes)
+    if not histogram:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    return max(histogram)
+
+
+def path_length_cdf(graph: nx.Graph, nodes: Optional[Iterable] = None) -> Dict[int, float]:
+    """Cumulative fraction of node pairs reachable within each hop count.
+
+    This is the quantity plotted in Fig 1(c): fraction of server pairs with
+    path length <= h, for each h.
+    """
+    histogram = path_length_distribution(graph, nodes)
+    total = sum(histogram.values())
+    if total == 0:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    cdf: Dict[int, float] = {}
+    running = 0
+    for hops in sorted(histogram):
+        running += histogram[hops]
+        cdf[hops] = running / total
+    return cdf
+
+
+def degree_histogram(graph: nx.Graph) -> Counter:
+    """Histogram mapping degree -> number of nodes with that degree."""
+    return Counter(dict(graph.degree()).values())
+
+
+def node_connectivity_at_least(graph: nx.Graph, k: int) -> bool:
+    """True if the graph is at least ``k``-connected.
+
+    Random r-regular graphs are almost surely r-connected (Section 4.3); this
+    check is used by the resilience tests.
+    """
+    if k <= 0:
+        return True
+    if graph.number_of_nodes() <= k:
+        return False
+    return nx.node_connectivity(graph) >= k

@@ -1,0 +1,358 @@
+"""Random regular graph construction.
+
+The Jellyfish paper (Section 3) does not require exactly-uniform sampling of
+r-regular graphs: it uses a simple sequential procedure -- repeatedly join a
+uniform-random pair of non-adjacent switches that still have free ports, and
+when the process gets stuck with a switch holding two or more free ports,
+"open up" a random existing link and splice the stuck switch into it.
+
+This module implements that procedure (``sequential_random_regular_graph``),
+the classical configuration/pairing model (``pairing_model_regular_graph``)
+used as an ablation baseline, and a thin dispatcher
+(``random_regular_graph``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import networkx as nx
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_integer
+
+
+class GraphConstructionError(RuntimeError):
+    """Raised when a random graph cannot be constructed for the parameters."""
+
+
+def _validate_regular_params(num_nodes: int, degree: int) -> None:
+    require_integer(num_nodes, "num_nodes")
+    require_integer(degree, "degree")
+    if num_nodes < 0:
+        raise ValueError(f"num_nodes must be non-negative, got {num_nodes}")
+    if degree < 0:
+        raise ValueError(f"degree must be non-negative, got {degree}")
+    if degree >= num_nodes and num_nodes > 0 and degree > 0:
+        raise ValueError(
+            f"degree ({degree}) must be smaller than num_nodes ({num_nodes})"
+        )
+    if (num_nodes * degree) % 2 != 0:
+        raise ValueError(
+            "num_nodes * degree must be even for a regular graph "
+            f"(got {num_nodes} * {degree})"
+        )
+
+
+def free_port_counts(graph: nx.Graph, degree: int) -> Dict:
+    """Map each node to the number of unused (free) ports at target ``degree``."""
+    return {node: degree - graph.degree(node) for node in graph.nodes}
+
+
+def sequential_random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+) -> nx.Graph:
+    """Build an (approximately uniform) random ``degree``-regular graph.
+
+    This is the construction procedure from the Jellyfish paper: join random
+    pairs of non-adjacent nodes that both have free ports; when no such pair
+    exists but some node still has >= 2 free ports, remove a random existing
+    link (x, y) not incident to that node and add links to both x and y.
+
+    The result is connected and exactly regular for all parameter choices
+    used in the paper (it may leave a single free port when ``degree`` is odd
+    and an odd number of stubs remains, matching the paper's description).
+    """
+    _validate_regular_params(num_nodes, degree)
+    rand = ensure_rng(rng)
+
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    if num_nodes == 0 or degree == 0:
+        return graph
+
+    free = {node: degree for node in graph.nodes}
+    open_nodes = list(graph.nodes)  # nodes that still have free ports
+
+    def prune_open_nodes() -> None:
+        open_nodes[:] = [node for node in open_nodes if free[node] > 0]
+
+    def try_add_random_edge() -> bool:
+        """Attempt to add one edge between random open nodes.
+
+        Uses rejection sampling first; if a bounded number of random draws
+        all hit already-adjacent pairs, fall back to an exhaustive scan so
+        we never falsely conclude the phase is finished.
+        """
+        prune_open_nodes()
+        if len(open_nodes) < 2:
+            return False
+        attempts = 4 * len(open_nodes)
+        for _ in range(attempts):
+            u, v = rand.sample(open_nodes, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                free[u] -= 1
+                free[v] -= 1
+                return True
+        # Exhaustive fallback: look for any addable pair.
+        for i, u in enumerate(open_nodes):
+            for v in open_nodes[i + 1:]:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    free[u] -= 1
+                    free[v] -= 1
+                    return True
+        return False
+
+    stall_rounds = 0
+    while True:
+        if try_add_random_edge():
+            continue
+        prune_open_nodes()
+        # Stuck: no addable pair.  Splice nodes with >= 2 free ports into a
+        # random existing edge (the paper's repair step).
+        stuck = [node for node in open_nodes if free[node] >= 2]
+        if not stuck:
+            # Only nodes with a single free port remain, and they are all
+            # mutual neighbours.  If there are at least two of them the graph
+            # can still be completed by rewiring one existing edge.
+            if not _repair_single_port_pair(graph, free, open_nodes, rand):
+                break
+            continue
+        node = rand.choice(stuck)
+        edge_list = list(graph.edges)
+        rand.shuffle(edge_list)
+        spliced = False
+        for x, y in edge_list:
+            if node in (x, y) or graph.has_edge(node, x) or graph.has_edge(node, y):
+                continue
+            graph.remove_edge(x, y)
+            graph.add_edge(node, x)
+            graph.add_edge(node, y)
+            free[node] -= 2
+            spliced = True
+            break
+        if not spliced:
+            stall_rounds += 1
+            if stall_rounds > max_stall_rounds:
+                raise GraphConstructionError(
+                    "could not complete regular graph construction "
+                    f"(num_nodes={num_nodes}, degree={degree})"
+                )
+
+    return graph
+
+
+def _repair_single_port_pair(graph: nx.Graph, free, open_nodes, rand) -> bool:
+    """Resolve the end-game where several adjacent nodes each have one free port.
+
+    Picks two such nodes u and v and an existing edge (x, y) disjoint from
+    them with x not adjacent to u and y not adjacent to v; replaces (x, y)
+    with (u, x) and (v, y).  Returns True if a repair was applied.
+    """
+    singles = [node for node in open_nodes if free[node] == 1]
+    if len(singles) < 2:
+        return False
+    rand.shuffle(singles)
+    for i, u in enumerate(singles):
+        for v in singles[i + 1:]:
+            edge_list = list(graph.edges)
+            rand.shuffle(edge_list)
+            for x, y in edge_list:
+                if u in (x, y) or v in (x, y):
+                    continue
+                for first, second in ((x, y), (y, x)):
+                    if not graph.has_edge(u, first) and not graph.has_edge(v, second):
+                        graph.remove_edge(x, y)
+                        graph.add_edge(u, first)
+                        graph.add_edge(v, second)
+                        free[u] -= 1
+                        free[v] -= 1
+                        return True
+    return False
+
+
+def random_graph_with_degree_budget(
+    budgets: Dict,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+) -> nx.Graph:
+    """Random graph where node ``v`` gets (up to) ``budgets[v]`` links.
+
+    This generalizes the paper's construction to heterogeneous degrees (used
+    when servers are spread unevenly over switches, or when switches have
+    different port counts): join random pairs of non-adjacent nodes that both
+    have unused budget, then splice stuck nodes (>= 2 free ports) into random
+    existing links.  As in the regular case, at most one free port may remain
+    unmatched per stuck node when the graph becomes saturated.
+    """
+    rand = ensure_rng(rng)
+    graph = nx.Graph()
+    graph.add_nodes_from(budgets)
+    for node, budget in budgets.items():
+        if budget < 0:
+            raise ValueError(f"negative degree budget for node {node!r}")
+        if budget >= len(budgets) and budget > 0:
+            raise ValueError(
+                f"degree budget for node {node!r} ({budget}) is not realizable "
+                f"with {len(budgets)} nodes"
+            )
+
+    free = dict(budgets)
+    open_nodes = [node for node in graph.nodes if free[node] > 0]
+
+    def prune_open_nodes() -> None:
+        open_nodes[:] = [node for node in open_nodes if free[node] > 0]
+
+    def try_add_random_edge() -> bool:
+        prune_open_nodes()
+        if len(open_nodes) < 2:
+            return False
+        attempts = 4 * len(open_nodes)
+        for _ in range(attempts):
+            u, v = rand.sample(open_nodes, 2)
+            if not graph.has_edge(u, v):
+                graph.add_edge(u, v)
+                free[u] -= 1
+                free[v] -= 1
+                return True
+        for i, u in enumerate(open_nodes):
+            for v in open_nodes[i + 1:]:
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    free[u] -= 1
+                    free[v] -= 1
+                    return True
+        return False
+
+    stall_rounds = 0
+    while True:
+        if try_add_random_edge():
+            continue
+        prune_open_nodes()
+        stuck = [node for node in open_nodes if free[node] >= 2]
+        if not stuck:
+            # Same end-game as the regular construction: adjacent nodes each
+            # holding one free port can be finished by rewiring one edge.
+            if not _repair_single_port_pair(graph, free, open_nodes, rand):
+                break
+            continue
+        node = rand.choice(stuck)
+        edge_list = list(graph.edges)
+        rand.shuffle(edge_list)
+        spliced = False
+        for x, y in edge_list:
+            if node in (x, y) or graph.has_edge(node, x) or graph.has_edge(node, y):
+                continue
+            graph.remove_edge(x, y)
+            graph.add_edge(node, x)
+            graph.add_edge(node, y)
+            free[node] -= 2
+            spliced = True
+            break
+        if not spliced:
+            stall_rounds += 1
+            if stall_rounds > max_stall_rounds:
+                raise GraphConstructionError(
+                    "could not satisfy the degree budgets "
+                    f"(remaining: { {n: f for n, f in free.items() if f > 0} })"
+                )
+
+    return graph
+
+
+def pairing_model_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_attempts: int = 200,
+) -> nx.Graph:
+    """Sample a random regular graph via the configuration (pairing) model.
+
+    Stubs are matched uniformly at random.  When the next stub pair would
+    create a self-loop or a parallel edge, a compatible partner is searched
+    among the remaining stubs (a standard practical repair of the pairing
+    model); only if no compatible partner exists is the sample rejected and
+    retried.  Provided as an ablation baseline against the paper's sequential
+    construction.
+    """
+    _validate_regular_params(num_nodes, degree)
+    rand = ensure_rng(rng)
+
+    if num_nodes == 0 or degree == 0:
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        return graph
+
+    for _ in range(max_attempts):
+        stubs = [node for node in range(num_nodes) for _ in range(degree)]
+        rand.shuffle(stubs)
+        graph = nx.Graph()
+        graph.add_nodes_from(range(num_nodes))
+        simple = True
+        while stubs:
+            u = stubs.pop()
+            partner_index = None
+            for index in range(len(stubs) - 1, -1, -1):
+                v = stubs[index]
+                if v != u and not graph.has_edge(u, v):
+                    partner_index = index
+                    break
+            if partner_index is None:
+                simple = False
+                break
+            v = stubs.pop(partner_index)
+            graph.add_edge(u, v)
+        if simple:
+            return graph
+    raise GraphConstructionError(
+        f"pairing model failed after {max_attempts} attempts "
+        f"(num_nodes={num_nodes}, degree={degree})"
+    )
+
+
+def random_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    method: str = "sequential",
+) -> nx.Graph:
+    """Build a random ``degree``-regular graph on ``num_nodes`` nodes.
+
+    ``method`` selects the construction: ``"sequential"`` (the paper's
+    procedure, default), ``"pairing"`` (configuration model), or
+    ``"networkx"`` (delegate to :func:`networkx.random_regular_graph`).
+    """
+    if method == "sequential":
+        return sequential_random_regular_graph(num_nodes, degree, rng)
+    if method == "pairing":
+        return pairing_model_regular_graph(num_nodes, degree, rng)
+    if method == "networkx":
+        _validate_regular_params(num_nodes, degree)
+        if num_nodes == 0 or degree == 0:
+            graph = nx.Graph()
+            graph.add_nodes_from(range(num_nodes))
+            return graph
+        rand = ensure_rng(rng)
+        return nx.random_regular_graph(degree, num_nodes, seed=rand.randrange(2**32))
+    raise ValueError(f"unknown construction method: {method!r}")
+
+
+def is_regular(graph: nx.Graph, degree: Optional[int] = None) -> bool:
+    """Return True if every node of ``graph`` has the same degree.
+
+    If ``degree`` is given, additionally require that common degree to equal
+    it.
+    """
+    degrees = {d for _, d in graph.degree()}
+    if not degrees:
+        return True
+    if len(degrees) != 1:
+        return False
+    if degree is None:
+        return True
+    return degrees.pop() == degree

@@ -1,0 +1,15 @@
+"""Routing: shortest paths, ECMP, Yen's k-shortest paths, path diversity."""
+
+from repro.routing.ecmp import ecmp_paths, ecmp_route_flows
+from repro.routing.ksp import k_shortest_paths
+from repro.routing.paths import PathSet, build_path_set
+from repro.routing.diversity import link_path_counts
+
+__all__ = [
+    "ecmp_paths",
+    "ecmp_route_flows",
+    "k_shortest_paths",
+    "PathSet",
+    "build_path_set",
+    "link_path_counts",
+]

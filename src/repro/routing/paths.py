@@ -1,0 +1,95 @@
+"""Per-pair path tables.
+
+A :class:`PathSet` is the routing state a deployment would install (via
+OpenFlow rules, SPAIN VLANs or MPLS tunnels, Section 5.3): for each
+(source switch, destination switch) pair, an ordered list of usable paths.
+Both the LP-based throughput harness and the fluid simulator consume it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import networkx as nx
+
+from repro.routing.ecmp import ecmp_paths
+from repro.routing.ksp import Path, k_shortest_paths
+
+Pair = Tuple[Hashable, Hashable]
+
+
+@dataclass
+class PathSet:
+    """Ordered candidate paths for each switch pair."""
+
+    paths: Dict[Pair, List[Path]] = field(default_factory=dict)
+    kind: str = "custom"
+
+    def __getitem__(self, pair: Pair) -> List[Path]:
+        return self.paths[pair]
+
+    def get(self, pair: Pair, default=None):
+        return self.paths.get(pair, default)
+
+    def pairs(self) -> Iterable[Pair]:
+        return self.paths.keys()
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+    def add(self, pair: Pair, path: Path) -> None:
+        self.paths.setdefault(pair, []).append(tuple(path))
+
+    def max_paths_per_pair(self) -> int:
+        if not self.paths:
+            return 0
+        return max(len(options) for options in self.paths.values())
+
+    def average_path_length(self) -> float:
+        """Mean hop count over every stored path (edges, not nodes)."""
+        lengths = [len(p) - 1 for options in self.paths.values() for p in options]
+        if not lengths:
+            raise ValueError("path set is empty")
+        return sum(lengths) / len(lengths)
+
+    def validate_against(self, graph: nx.Graph) -> None:
+        """Check every stored path is a real, loop-free path of ``graph``."""
+        for (source, target), options in self.paths.items():
+            for path in options:
+                if path[0] != source or path[-1] != target:
+                    raise ValueError(
+                        f"path {path!r} does not join {source!r} and {target!r}"
+                    )
+                if len(set(path)) != len(path):
+                    raise ValueError(f"path {path!r} revisits a node")
+                for u, v in zip(path, path[1:]):
+                    if not graph.has_edge(u, v):
+                        raise ValueError(f"path {path!r} uses missing edge {(u, v)!r}")
+
+
+def build_path_set(
+    graph: nx.Graph,
+    pairs: Sequence[Pair],
+    scheme: str = "ksp",
+    k: int = 8,
+) -> PathSet:
+    """Build a :class:`PathSet` for the given pairs.
+
+    ``scheme`` is ``"ksp"`` for Yen's k-shortest paths or ``"ecmp"`` for
+    w-way equal-cost shortest paths (``k`` doubles as the ECMP width).
+    """
+    if scheme not in ("ksp", "ecmp"):
+        raise ValueError(f"unknown routing scheme {scheme!r}")
+    table: Dict[Pair, List[Path]] = {}
+    for source, target in pairs:
+        if source == target:
+            continue
+        if scheme == "ksp":
+            options = k_shortest_paths(graph, source, target, k)
+        else:
+            options = ecmp_paths(graph, source, target, width=k)
+        if not options:
+            raise ValueError(f"no path between {source!r} and {target!r}")
+        table[(source, target)] = options
+    return PathSet(paths=table, kind=f"{scheme}-{k}")

@@ -1,0 +1,13 @@
+"""Simulators that account for routing and congestion control (paper Section 5)."""
+
+from repro.simulation.fluid import FluidResult, SimulationConfig, simulate_fluid
+from repro.simulation.aimd import AimdConfig, AimdResult, simulate_aimd
+
+__all__ = [
+    "FluidResult",
+    "SimulationConfig",
+    "simulate_fluid",
+    "AimdConfig",
+    "AimdResult",
+    "simulate_aimd",
+]

@@ -1,0 +1,230 @@
+"""Round-based AIMD (TCP / MPTCP) simulator.
+
+A dynamic counterpart to the steady-state fluid model in
+:mod:`repro.simulation.fluid`: congestion windows evolve round by round
+(one round approximates one RTT) with additive increase and multiplicative
+decrease, and MPTCP subflows use a coupled ("linked increases"-style)
+controller that shifts window growth toward less congested paths.  It is a
+deliberately small model of the MPTCP authors' packet simulator (see
+DESIGN.md, substitution 2), used to cross-validate the fluid results and to
+study convergence dynamics.
+
+Model per round:
+
+1. every subflow offers ``cwnd`` packets along its fixed path;
+2. every directed link can carry ``capacity * packets_per_round`` packets;
+   if offers exceed capacity, the excess is dropped proportionally to each
+   subflow's offer (drop-tail approximation);
+3. subflows that lost packets halve their window; others grow -- plain TCP
+   subflows by one packet, MPTCP subflows by an amount weighted toward the
+   subflows of the same connection that currently deliver the most goodput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.routing.paths import PathSet, build_path_set
+from repro.simulation.fluid import (
+    MPTCP,
+    TCP_EIGHT_FLOWS,
+    TCP_ONE_FLOW,
+    SimulationConfig,
+)
+from repro.topologies.base import Topology
+from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.stats import jains_fairness_index, mean
+
+DirectedLink = Tuple[Hashable, Hashable]
+
+
+@dataclass(frozen=True)
+class AimdConfig:
+    """Parameters of the round-based simulator."""
+
+    routing: str = "ksp"
+    k: int = 8
+    congestion_control: str = MPTCP
+    subflows: int = 8
+    rounds: int = 200
+    warmup_rounds: int = 50
+    packets_per_round: int = 100
+    initial_cwnd: float = 2.0
+
+    def to_simulation_config(self) -> SimulationConfig:
+        return SimulationConfig(
+            routing=self.routing,
+            k=self.k,
+            congestion_control=self.congestion_control,
+            subflows=self.subflows,
+        )
+
+
+@dataclass
+class _Subflow:
+    connection: int
+    path: Tuple[Hashable, ...]
+    cwnd: float
+    delivered: float = 0.0
+    last_goodput: float = 0.0
+
+
+@dataclass
+class AimdResult:
+    """Per-connection normalized throughput measured after warm-up."""
+
+    flow_throughputs: List[float] = field(default_factory=list)
+    rounds: int = 0
+
+    @property
+    def average_throughput(self) -> float:
+        if not self.flow_throughputs:
+            return 1.0
+        return mean(self.flow_throughputs)
+
+    @property
+    def fairness(self) -> float:
+        if not self.flow_throughputs:
+            return 1.0
+        return jains_fairness_index(self.flow_throughputs)
+
+
+def _link_capacities(topology: Topology, packets_per_round: int) -> Dict[DirectedLink, float]:
+    capacities: Dict[DirectedLink, float] = {}
+    for u, v, data in topology.graph.edges(data=True):
+        capacity = float(data.get("capacity", 1.0)) * packets_per_round
+        capacities[(u, v)] = capacity
+        capacities[(v, u)] = capacity
+    return capacities
+
+
+def _build_subflows(
+    traffic: TrafficMatrix,
+    path_set: PathSet,
+    config: AimdConfig,
+    rand,
+) -> Tuple[List[_Subflow], List[float]]:
+    """Create subflows and per-connection demand caps (in packets/round)."""
+    subflows: List[_Subflow] = []
+    demands: List[float] = []
+    for index, demand in enumerate(traffic):
+        src, dst = demand.source_switch, demand.destination_switch
+        demands.append(demand.rate * config.packets_per_round)
+        if src == dst:
+            continue  # same-rack traffic never crosses the network
+        options = path_set.get((src, dst))
+        if not options:
+            raise ValueError(f"no path for demanded pair ({src!r}, {dst!r})")
+        if config.congestion_control == TCP_ONE_FLOW:
+            chosen = options[rand.randrange(len(options))]
+            subflows.append(_Subflow(index, chosen, config.initial_cwnd))
+        else:
+            for i in range(config.subflows):
+                path = options[i % len(options)]
+                subflows.append(_Subflow(index, path, config.initial_cwnd))
+    return subflows, demands
+
+
+def simulate_aimd(
+    topology: Topology,
+    traffic: Optional[TrafficMatrix] = None,
+    config: Optional[AimdConfig] = None,
+    rng: RngLike = None,
+    path_set: Optional[PathSet] = None,
+) -> AimdResult:
+    """Run the round-based AIMD simulation and report normalized throughput."""
+    rand = ensure_rng(rng)
+    if config is None:
+        config = AimdConfig()
+    if traffic is None:
+        traffic = random_permutation_traffic(topology, rng=rand)
+    if len(traffic) == 0:
+        return AimdResult()
+
+    pairs = list(traffic.switch_pairs())
+    if path_set is None:
+        path_set = build_path_set(
+            topology.graph, pairs, scheme=config.routing, k=config.k
+        )
+
+    subflows, demands = _build_subflows(traffic, path_set, config, rand)
+    capacities = _link_capacities(topology, config.packets_per_round)
+
+    siblings_of: Dict[int, List[_Subflow]] = {}
+    for subflow in subflows:
+        siblings_of.setdefault(subflow.connection, []).append(subflow)
+
+    measured_rounds = 0
+    delivered_per_connection = [0.0] * len(demands)
+
+    for round_index in range(config.rounds):
+        # Cap each connection's aggregate offer at its demand (the NIC rate).
+        offers: List[float] = []
+        per_connection_window: Dict[int, float] = {}
+        for subflow in subflows:
+            per_connection_window[subflow.connection] = (
+                per_connection_window.get(subflow.connection, 0.0) + subflow.cwnd
+            )
+        for subflow in subflows:
+            total = per_connection_window[subflow.connection]
+            cap = demands[subflow.connection]
+            scale = min(1.0, cap / total) if total > 0 else 0.0
+            offers.append(subflow.cwnd * scale)
+
+        # Offered load per link.
+        link_offer: Dict[DirectedLink, float] = {}
+        for subflow, offer in zip(subflows, offers):
+            for link in zip(subflow.path, subflow.path[1:]):
+                link_offer[link] = link_offer.get(link, 0.0) + offer
+
+        # Delivery fraction per link (proportional drop when oversubscribed).
+        link_accept: Dict[DirectedLink, float] = {}
+        for link, offer in link_offer.items():
+            capacity = capacities.get(link, config.packets_per_round)
+            link_accept[link] = 1.0 if offer <= capacity else capacity / offer
+
+        measuring = round_index >= config.warmup_rounds
+        if measuring:
+            measured_rounds += 1
+
+        for slot, (subflow, offer) in enumerate(zip(subflows, offers)):
+            accept = 1.0
+            for link in zip(subflow.path, subflow.path[1:]):
+                accept = min(accept, link_accept[link])
+            delivered = offer * accept
+            lost = accept < 1.0 - 1e-9
+            subflow.last_goodput = delivered
+            if measuring:
+                delivered_per_connection[subflow.connection] += delivered
+
+            if lost:
+                subflow.cwnd = max(config.initial_cwnd, subflow.cwnd / 2.0)
+            else:
+                if config.congestion_control == MPTCP:
+                    # Coupled increase: grow in proportion to this subflow's
+                    # share of the connection's goodput, so growth shifts to
+                    # the least congested paths.
+                    siblings = siblings_of[subflow.connection]
+                    total_goodput = sum(s.last_goodput for s in siblings) or 1.0
+                    subflow.cwnd += max(
+                        0.1, subflow.last_goodput / total_goodput
+                    )
+                else:
+                    subflow.cwnd += 1.0
+
+    throughputs = []
+    for connection, demand in enumerate(demands):
+        if demand <= 0:
+            continue
+        if connection not in siblings_of:
+            # Same-rack traffic never crosses the network and is always served.
+            throughputs.append(1.0)
+            continue
+        if measured_rounds == 0:
+            throughputs.append(0.0)
+            continue
+        rate = delivered_per_connection[connection] / measured_rounds
+        throughputs.append(min(rate / demand, 1.0))
+    return AimdResult(flow_throughputs=throughputs, rounds=config.rounds)

@@ -1,0 +1,247 @@
+"""Fluid (flow-level) simulator for routing + congestion-control studies.
+
+The paper evaluates Jellyfish and the fat-tree under combinations of routing
+(ECMP, k-shortest paths) and congestion control (TCP with 1 or 8 flows per
+server pair, MPTCP with 8 subflows) using the MPTCP authors' packet
+simulator.  That simulator is not available offline, so this module models
+the steady state those protocols converge to as a max-min fair allocation
+problem (see DESIGN.md, substitution 2):
+
+* **TCP, 1 flow** -- each server pair places one flow on a single path
+  chosen from its routing path set by a random hash.
+* **TCP, 8 flows** -- eight parallel connections striped round-robin over
+  the available paths; the application stripes data evenly, so each
+  connection is capped at 1/8 of the pair's demand.
+* **MPTCP, 8 subflows** -- eight subflows over the available paths with the
+  coupled congestion controller free to rebalance: only the aggregate demand
+  cap applies.
+
+Routing supplies the candidate paths: ``"ecmp"`` uses up to ``k`` equal-cost
+shortest paths, ``"ksp"`` uses Yen's k shortest paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Tuple
+
+from repro.flow.maxmin import FlowSpec, max_min_fair_allocation
+from repro.routing.ksp import Path
+from repro.routing.paths import PathSet, build_path_set
+from repro.topologies.base import Topology
+from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.stats import jains_fairness_index, mean
+
+TCP_ONE_FLOW = "tcp1"
+TCP_EIGHT_FLOWS = "tcp8"
+MPTCP = "mptcp"
+
+_CONGESTION_CONTROLS = (TCP_ONE_FLOW, TCP_EIGHT_FLOWS, MPTCP)
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Routing and congestion-control selection for the fluid simulator."""
+
+    routing: str = "ksp"
+    k: int = 8
+    congestion_control: str = MPTCP
+    subflows: int = 8
+
+    def __post_init__(self) -> None:
+        if self.routing not in ("ksp", "ecmp"):
+            raise ValueError(f"unknown routing scheme {self.routing!r}")
+        if self.congestion_control not in _CONGESTION_CONTROLS:
+            raise ValueError(
+                f"unknown congestion control {self.congestion_control!r}"
+            )
+        if self.k <= 0 or self.subflows <= 0:
+            raise ValueError("k and subflows must be positive")
+
+
+@dataclass
+class FluidResult:
+    """Per-flow normalized throughputs and their summaries."""
+
+    flow_throughputs: List[float] = field(default_factory=list)
+    link_loads: Dict[Tuple[Hashable, Hashable], float] = field(default_factory=dict)
+
+    @property
+    def average_throughput(self) -> float:
+        if not self.flow_throughputs:
+            return 1.0
+        return mean(self.flow_throughputs)
+
+    @property
+    def fairness(self) -> float:
+        if not self.flow_throughputs:
+            return 1.0
+        return jains_fairness_index(self.flow_throughputs)
+
+    def sorted_throughputs(self) -> List[float]:
+        return sorted(self.flow_throughputs)
+
+
+def _link_capacities(topology: Topology) -> Dict[Tuple[Hashable, Hashable], float]:
+    capacities: Dict[Tuple[Hashable, Hashable], float] = {}
+    for u, v, data in topology.graph.edges(data=True):
+        capacity = float(data.get("capacity", 1.0))
+        capacities[(u, v)] = capacity
+        capacities[(v, u)] = capacity
+    return capacities
+
+
+def _build_flow_specs(
+    traffic: TrafficMatrix,
+    path_set: PathSet,
+    config: SimulationConfig,
+    rand,
+) -> List[FlowSpec]:
+    specs: List[FlowSpec] = []
+    for index, demand in enumerate(traffic):
+        src, dst = demand.source_switch, demand.destination_switch
+        flow_id = (index, demand.source, demand.destination)
+        if src == dst:
+            # Same-rack traffic never crosses the network: model as a single
+            # zero-hop path that is always satisfied.
+            specs.append(FlowSpec(flow_id=flow_id, paths=[(src,)], demand=demand.rate))
+            continue
+        options = path_set.get((src, dst))
+        if not options:
+            raise ValueError(f"no path for demanded pair ({src!r}, {dst!r})")
+
+        if config.congestion_control == TCP_ONE_FLOW:
+            chosen = options[rand.randrange(len(options))]
+            specs.append(
+                FlowSpec(flow_id=flow_id, paths=[chosen], demand=demand.rate)
+            )
+            continue
+
+        subflow_paths = [
+            options[i % len(options)] for i in range(config.subflows)
+        ]
+        if config.congestion_control == TCP_EIGHT_FLOWS:
+            caps = [demand.rate / config.subflows] * config.subflows
+            specs.append(
+                FlowSpec(
+                    flow_id=flow_id,
+                    paths=subflow_paths,
+                    demand=demand.rate,
+                    subflow_caps=caps,
+                )
+            )
+        else:  # MPTCP: only the aggregate cap applies
+            specs.append(
+                FlowSpec(flow_id=flow_id, paths=subflow_paths, demand=demand.rate)
+            )
+    return specs
+
+
+def _allocate_mptcp_sequential(
+    specs: List[FlowSpec],
+    capacities: Dict[Tuple[Hashable, Hashable], float],
+) -> Dict[Hashable, float]:
+    """Allocate MPTCP flows by filling paths in rank order.
+
+    MPTCP's coupled congestion controller keeps traffic on the least
+    congested, lowest-RTT subflows and only spills onto additional paths when
+    the better ones are saturated ("do no harm" / "balance congestion").  We
+    model that equilibrium by repeated max-min rounds over path-length tiers:
+    in round ``i`` every connection that has not yet reached its demand
+    offers its remaining demand jointly on all of its ``i``-th shortest-tier
+    paths, sharing whatever capacity previous rounds left behind.  For ECMP
+    path sets (all paths equal length) this collapses to a single joint
+    max-min round.
+    """
+    remaining_capacity = dict(capacities)
+    flow_rate: Dict[Hashable, float] = {spec.flow_id: 0.0 for spec in specs}
+    link_loads: Dict[Tuple[Hashable, Hashable], float] = {}
+
+    # Group each flow's paths into tiers by hop count (shortest tier first).
+    tiers_by_flow: Dict[Hashable, List[List[Path]]] = {}
+    max_tiers = 0
+    for spec in specs:
+        by_length: Dict[int, List[Path]] = {}
+        for path in spec.paths:
+            by_length.setdefault(len(path), []).append(path)
+        tiers = [by_length[length] for length in sorted(by_length)]
+        tiers_by_flow[spec.flow_id] = tiers
+        max_tiers = max(max_tiers, len(tiers))
+
+    for tier_index in range(max_tiers):
+        round_specs = []
+        for spec in specs:
+            tiers = tiers_by_flow[spec.flow_id]
+            if tier_index >= len(tiers):
+                continue
+            remaining = spec.demand - flow_rate[spec.flow_id]
+            if remaining <= 1e-9:
+                continue
+            round_specs.append(
+                FlowSpec(
+                    flow_id=spec.flow_id,
+                    paths=tiers[tier_index],
+                    demand=remaining,
+                )
+            )
+        if not round_specs:
+            break
+        allocation = max_min_fair_allocation(round_specs, remaining_capacity)
+        for flow_id, rate in allocation.flow_rates.items():
+            flow_rate[flow_id] += rate
+        for link, load in allocation.link_loads.items():
+            link_loads[link] = link_loads.get(link, 0.0) + load
+            remaining_capacity[link] = max(
+                0.0, remaining_capacity.get(link, 1.0) - load
+            )
+    return flow_rate
+
+
+def simulate_fluid(
+    topology: Topology,
+    traffic: Optional[TrafficMatrix] = None,
+    config: Optional[SimulationConfig] = None,
+    rng: RngLike = None,
+    path_set: Optional[PathSet] = None,
+) -> FluidResult:
+    """Run the fluid simulator and return per-flow normalized throughputs."""
+    rand = ensure_rng(rng)
+    if config is None:
+        config = SimulationConfig()
+    if traffic is None:
+        traffic = random_permutation_traffic(topology, rng=rand)
+    if len(traffic) == 0:
+        return FluidResult()
+
+    pairs = list(traffic.switch_pairs())
+    if path_set is None:
+        path_set = build_path_set(
+            topology.graph, pairs, scheme=config.routing, k=config.k
+        )
+
+    specs = _build_flow_specs(traffic, path_set, config, rand)
+    capacities = _link_capacities(topology)
+    if config.congestion_control == MPTCP:
+        # Each flow keeps one subflow per distinct candidate path; the coupled
+        # controller fills better-ranked paths before spilling onto others.
+        deduplicated = [
+            FlowSpec(
+                flow_id=spec.flow_id,
+                paths=list(dict.fromkeys(spec.paths)),
+                demand=spec.demand,
+            )
+            for spec in specs
+        ]
+        flow_rates = _allocate_mptcp_sequential(deduplicated, capacities)
+        throughputs = [
+            min(flow_rates.get(spec.flow_id, 0.0) / spec.demand, 1.0) for spec in specs
+        ]
+        return FluidResult(flow_throughputs=throughputs)
+
+    allocation = max_min_fair_allocation(specs, capacities)
+    throughputs = []
+    for spec in specs:
+        rate = allocation.flow_rates.get(spec.flow_id, 0.0)
+        throughputs.append(min(rate / spec.demand, 1.0))
+    return FluidResult(flow_throughputs=throughputs, link_loads=allocation.link_loads)

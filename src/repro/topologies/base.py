@@ -1,0 +1,210 @@
+"""Common topology abstraction.
+
+A :class:`Topology` is a switch-level graph plus, for every switch, the
+number of ports it has and the number of servers attached to it.  All of the
+evaluation machinery (traffic matrices, LP throughput, routing, the fluid
+simulator, cabling) operates on this abstraction, so Jellyfish, fat-trees,
+small-world data centers and Clos networks are interchangeable everywhere.
+"""
+
+from __future__ import annotations
+
+import copy as _copy
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+
+import networkx as nx
+
+from repro.graphs.properties import (
+    average_path_length,
+    diameter,
+    is_connected,
+    path_length_cdf,
+)
+
+
+class TopologyError(ValueError):
+    """Raised when a topology violates its own port budget or invariants."""
+
+
+@dataclass(frozen=True)
+class EquipmentSummary:
+    """Switching equipment used by a topology (the paper's cost unit is ports)."""
+
+    num_switches: int
+    total_ports: int
+    num_servers: int
+    num_links: int
+
+    def as_dict(self) -> dict:
+        return {
+            "num_switches": self.num_switches,
+            "total_ports": self.total_ports,
+            "num_servers": self.num_servers,
+            "num_links": self.num_links,
+        }
+
+
+class Topology:
+    """Switch-level topology with per-switch port budgets and attached servers.
+
+    Parameters
+    ----------
+    graph:
+        Undirected switch interconnection graph.  Node identifiers may be any
+        hashable value.
+    ports:
+        Mapping from switch to its total port count.  Every switch in
+        ``graph`` must appear.
+    servers:
+        Mapping from switch to the number of directly attached servers.
+        Switches may be omitted (interpreted as zero servers).
+    name:
+        Human-readable topology name used in experiment reports.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        ports: Dict[Hashable, int],
+        servers: Optional[Dict[Hashable, int]] = None,
+        name: str = "topology",
+    ) -> None:
+        self.graph = graph
+        self.ports = dict(ports)
+        self.servers = {node: 0 for node in graph.nodes}
+        if servers:
+            for node, count in servers.items():
+                if node not in self.servers:
+                    raise TopologyError(f"server host {node!r} is not a switch")
+                if count < 0:
+                    raise TopologyError(f"negative server count on {node!r}")
+                self.servers[node] = count
+        self.name = name
+        self.validate()
+
+    # ------------------------------------------------------------------ #
+    # Invariants and accounting
+    # ------------------------------------------------------------------ #
+    def validate(self) -> None:
+        """Check that every switch respects its port budget."""
+        for node in self.graph.nodes:
+            if node not in self.ports:
+                raise TopologyError(f"switch {node!r} has no port count")
+            used = self.graph.degree(node) + self.servers.get(node, 0)
+            if used > self.ports[node]:
+                raise TopologyError(
+                    f"switch {node!r} uses {used} ports but only has "
+                    f"{self.ports[node]}"
+                )
+        for node in self.ports:
+            if node not in self.graph.nodes:
+                raise TopologyError(f"port count given for unknown switch {node!r}")
+
+    def free_ports(self, node: Hashable) -> int:
+        """Unused ports on ``node`` (ports minus network links minus servers)."""
+        return self.ports[node] - self.graph.degree(node) - self.servers.get(node, 0)
+
+    @property
+    def num_switches(self) -> int:
+        return self.graph.number_of_nodes()
+
+    @property
+    def num_links(self) -> int:
+        return self.graph.number_of_edges()
+
+    @property
+    def num_servers(self) -> int:
+        return sum(self.servers.values())
+
+    @property
+    def total_ports(self) -> int:
+        return sum(self.ports.values())
+
+    def equipment(self) -> EquipmentSummary:
+        """Summary of the switching equipment this topology consumes."""
+        return EquipmentSummary(
+            num_switches=self.num_switches,
+            total_ports=self.total_ports,
+            num_servers=self.num_servers,
+            num_links=self.num_links,
+        )
+
+    def server_hosts(self) -> List[Hashable]:
+        """Switches that host at least one server."""
+        return [node for node, count in self.servers.items() if count > 0]
+
+    def server_list(self) -> List[Tuple[Hashable, int]]:
+        """All servers as (host switch, index-on-switch) pairs."""
+        return [
+            (node, index)
+            for node, count in sorted(self.servers.items(), key=lambda kv: str(kv[0]))
+            for index in range(count)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Derived graphs and metrics
+    # ------------------------------------------------------------------ #
+    def host_graph(self) -> nx.Graph:
+        """Graph containing both switches and servers (servers as leaf nodes).
+
+        Server nodes are tuples ``("server", switch, index)`` so they never
+        collide with switch identifiers.
+        """
+        combined = self.graph.copy()
+        for switch, index in self.server_list():
+            server = ("server", switch, index)
+            combined.add_edge(server, switch)
+        return combined
+
+    def server_nodes(self) -> List[Tuple]:
+        """Server node identifiers as used by :meth:`host_graph`."""
+        return [("server", switch, index) for switch, index in self.server_list()]
+
+    def is_connected(self) -> bool:
+        return is_connected(self.graph)
+
+    def switch_average_path_length(self) -> float:
+        return average_path_length(self.graph)
+
+    def switch_diameter(self) -> int:
+        return diameter(self.graph)
+
+    def server_path_length_cdf(self) -> Dict[int, float]:
+        """CDF of server-to-server path lengths (Fig 1(c))."""
+        hosts = self.host_graph()
+        return path_length_cdf(hosts, self.server_nodes())
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers
+    # ------------------------------------------------------------------ #
+    def copy(self) -> "Topology":
+        """Deep copy (graph, ports and servers are all copied)."""
+        clone = _copy.copy(self)
+        clone.graph = self.graph.copy()
+        clone.ports = dict(self.ports)
+        clone.servers = dict(self.servers)
+        return clone
+
+    def remove_links(self, links: Iterable[Tuple[Hashable, Hashable]]) -> None:
+        """Remove the given switch-to-switch links (used by failure injection)."""
+        for u, v in links:
+            if self.graph.has_edge(u, v):
+                self.graph.remove_edge(u, v)
+
+    def attach_servers(self, switch: Hashable, count: int) -> None:
+        """Attach ``count`` additional servers to ``switch`` (port budget permitting)."""
+        if count < 0:
+            raise TopologyError("count must be non-negative")
+        if self.free_ports(switch) < count:
+            raise TopologyError(
+                f"switch {switch!r} has only {self.free_ports(switch)} free ports, "
+                f"cannot attach {count} servers"
+            )
+        self.servers[switch] = self.servers.get(switch, 0) + count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging convenience
+        return (
+            f"<{type(self).__name__} {self.name!r}: {self.num_switches} switches, "
+            f"{self.num_servers} servers, {self.num_links} links>"
+        )

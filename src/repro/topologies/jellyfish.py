@@ -1,0 +1,224 @@
+"""Jellyfish topology: a random regular graph among top-of-rack switches.
+
+Implements the construction of Section 3 (``RRG(N, k, r)``), the incremental
+expansion procedures of Section 4.2 (adding a rack with servers, adding a
+bare switch to boost capacity) and heterogeneous expansion with switches of
+different port counts.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Optional
+
+import networkx as nx
+
+from repro.graphs.regular import random_graph_with_degree_budget, random_regular_graph
+from repro.topologies.base import Topology, TopologyError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_integer
+
+
+class JellyfishTopology(Topology):
+    """A Jellyfish data-center network (random regular graph of ToR switches).
+
+    Use :meth:`build` to construct ``RRG(N, k, r)`` from scratch, or
+    :meth:`from_equipment` to build a Jellyfish using the same switching
+    equipment as a fat-tree (the paper's standard comparison setup).
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        ports: Dict[Hashable, int],
+        servers: Optional[Dict[Hashable, int]] = None,
+        name: str = "jellyfish",
+    ) -> None:
+        super().__init__(graph, ports, servers, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        num_switches: int,
+        ports_per_switch: int,
+        network_degree: int,
+        rng: RngLike = None,
+        servers_per_switch: Optional[int] = None,
+        method: str = "sequential",
+        name: str = "jellyfish",
+    ) -> "JellyfishTopology":
+        """Construct ``RRG(num_switches, ports_per_switch, network_degree)``.
+
+        Each switch uses ``network_degree`` ports for the random interconnect
+        and, by default, the remaining ``ports_per_switch - network_degree``
+        ports for servers (override with ``servers_per_switch``).
+        """
+        require_integer(num_switches, "num_switches")
+        require_integer(ports_per_switch, "ports_per_switch")
+        require_integer(network_degree, "network_degree")
+        if network_degree > ports_per_switch:
+            raise TopologyError(
+                "network_degree cannot exceed ports_per_switch "
+                f"({network_degree} > {ports_per_switch})"
+            )
+        if servers_per_switch is None:
+            servers_per_switch = ports_per_switch - network_degree
+        if servers_per_switch < 0:
+            raise TopologyError("servers_per_switch must be non-negative")
+        if network_degree + servers_per_switch > ports_per_switch:
+            raise TopologyError(
+                "network_degree + servers_per_switch exceeds ports_per_switch"
+            )
+
+        # When N * r is odd the exact regular graph does not exist; the
+        # construction leaves one port free, matching the paper's remark
+        # that "only a single unmatched port might remain".
+        degree = network_degree
+        if (num_switches * degree) % 2 != 0:
+            graph = random_regular_graph(num_switches, degree - 1, rng, method=method)
+        else:
+            graph = random_regular_graph(num_switches, degree, rng, method=method)
+
+        ports = {node: ports_per_switch for node in graph.nodes}
+        servers = {node: servers_per_switch for node in graph.nodes}
+        return cls(graph, ports, servers, name=name)
+
+    @classmethod
+    def from_equipment(
+        cls,
+        num_switches: int,
+        ports_per_switch: int,
+        num_servers: int,
+        rng: RngLike = None,
+        name: str = "jellyfish",
+    ) -> "JellyfishTopology":
+        """Build a Jellyfish from a switch pool while hosting ``num_servers``.
+
+        Servers are spread as evenly as possible over the switches; every
+        remaining port is used for the random interconnect, so switches with
+        one server fewer get one extra network link (the graph is only
+        near-regular, as in the paper's heterogeneous setting).  This is the
+        configuration used when comparing against a fat-tree with the same
+        switching equipment but a different number of servers.
+        """
+        require_integer(num_servers, "num_servers")
+        if num_servers < 0:
+            raise TopologyError("num_servers must be non-negative")
+        if num_servers > num_switches * (ports_per_switch - 1):
+            raise TopologyError(
+                "too many servers: at least one port per switch must remain "
+                "for the network"
+            )
+        base_servers = num_servers // num_switches
+        extra = num_servers % num_switches
+        if ports_per_switch - base_servers - (1 if extra else 0) < 1:
+            raise TopologyError("no ports remain for the network")
+
+        rand = ensure_rng(rng)
+        servers = {}
+        budgets = {}
+        for node in range(num_switches):
+            count = base_servers + (1 if node < extra else 0)
+            servers[node] = count
+            budgets[node] = min(ports_per_switch - count, num_switches - 1)
+        graph = random_graph_with_degree_budget(budgets, rng=rand)
+        ports = {node: ports_per_switch for node in graph.nodes}
+        topo = cls(graph, ports, servers, name=name)
+        return topo
+
+    # ------------------------------------------------------------------ #
+    # Incremental expansion (Section 4.2)
+    # ------------------------------------------------------------------ #
+    def add_switch(
+        self,
+        switch: Hashable,
+        ports: int,
+        servers: int = 0,
+        rng: RngLike = None,
+    ) -> None:
+        """Incorporate a new switch by random link swaps.
+
+        The new switch joins the interconnect with ``ports - servers``
+        network ports.  While it has at least two free ports, a random
+        existing link (v, w) with v, w not already adjacent to the new switch
+        is removed and replaced by links (u, v) and (u, w).  A final odd free
+        port is left unused, as in the paper.
+        """
+        require_integer(ports, "ports")
+        require_integer(servers, "servers")
+        if switch in self.graph:
+            raise TopologyError(f"switch {switch!r} already exists")
+        if servers < 0 or servers > ports:
+            raise TopologyError("servers must be between 0 and ports")
+        rand = ensure_rng(rng)
+
+        self.graph.add_node(switch)
+        self.ports[switch] = ports
+        self.servers[switch] = servers
+
+        while self.free_ports(switch) >= 2:
+            candidates = [
+                (v, w)
+                for v, w in self.graph.edges
+                if switch not in (v, w)
+                and not self.graph.has_edge(switch, v)
+                and not self.graph.has_edge(switch, w)
+            ]
+            if not candidates:
+                break
+            v, w = candidates[rand.randrange(len(candidates))]
+            self.graph.remove_edge(v, w)
+            self.graph.add_edge(switch, v)
+            self.graph.add_edge(switch, w)
+        self.validate()
+
+    def add_rack(
+        self,
+        switch: Hashable,
+        ports: int,
+        servers: int,
+        rng: RngLike = None,
+    ) -> None:
+        """Add a rack: a new ToR switch with ``servers`` hosts attached."""
+        if servers <= 0:
+            raise TopologyError("a rack must contain at least one server")
+        self.add_switch(switch, ports, servers=servers, rng=rng)
+
+    def expand(
+        self,
+        new_switches: int,
+        ports: int,
+        servers_per_switch: int,
+        rng: RngLike = None,
+        prefix: str = "new",
+    ) -> None:
+        """Add ``new_switches`` racks in one expansion step.
+
+        Switch identifiers are ``(prefix, i)`` with ``i`` continuing from the
+        current switch count so repeated expansions never collide.
+        """
+        require_integer(new_switches, "new_switches")
+        if new_switches < 0:
+            raise ValueError("new_switches must be non-negative")
+        rand = ensure_rng(rng)
+        start = self.num_switches
+        for offset in range(new_switches):
+            self.add_switch(
+                (prefix, start + offset),
+                ports,
+                servers=servers_per_switch,
+                rng=rand,
+            )
+
+    def rewired_links_for_expansion(self, ports_added: int) -> int:
+        """Number of existing cables that must be moved to absorb new ports.
+
+        Every two new network ports require removing one existing link and
+        adding two new cables (Section 6.2), so the count of moved cables is
+        ``ports_added // 2``.
+        """
+        if ports_added < 0:
+            raise ValueError("ports_added must be non-negative")
+        return ports_added // 2

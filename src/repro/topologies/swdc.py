@@ -1,0 +1,196 @@
+"""Small-World Datacenter (SWDC) topologies [Shin, Wong, Sirer -- SoCC 2011].
+
+SWDC arranges nodes on a regular lattice (a ring, a 2D torus or a 3D
+hexagonal torus) and adds random "small-world" shortcut links until every
+node reaches the target degree (6 in the paper's comparison).  The Jellyfish
+paper compares against all three variants at ~484 switches with 1 server per
+switch (then 2 servers to create oversubscription), Fig 4.
+
+The lattice supplies the structured neighbours; the remaining ports are
+filled with uniform-random shortcuts, avoiding duplicate links.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Tuple
+
+import networkx as nx
+
+from repro.topologies.base import Topology, TopologyError
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import require_integer
+
+RING = "ring"
+TORUS_2D = "torus2d"
+HEX_TORUS_3D = "hex3d"
+
+_VARIANTS = (RING, TORUS_2D, HEX_TORUS_3D)
+
+
+def _ring_lattice(num_nodes: int) -> nx.Graph:
+    """Simple cycle: each node linked to its two ring neighbours."""
+    graph = nx.Graph()
+    graph.add_nodes_from(range(num_nodes))
+    for node in range(num_nodes):
+        graph.add_edge(node, (node + 1) % num_nodes)
+    return graph
+
+
+def _torus_2d_lattice(num_nodes: int) -> Tuple[nx.Graph, Tuple[int, int]]:
+    """2D torus with wraparound; requires a (near-)square node count."""
+    side = int(round(math.sqrt(num_nodes)))
+    if side * side != num_nodes:
+        raise TopologyError(
+            f"2D torus requires a perfect-square node count, got {num_nodes}"
+        )
+    graph = nx.Graph()
+    for x in range(side):
+        for y in range(side):
+            graph.add_node((x, y))
+    for x in range(side):
+        for y in range(side):
+            graph.add_edge((x, y), ((x + 1) % side, y))
+            graph.add_edge((x, y), (x, (y + 1) % side))
+    return graph, (side, side)
+
+
+def _hex_torus_3d_lattice(num_nodes: int) -> nx.Graph:
+    """3D 'hex' torus: nodes on an L x M x 2 grid with 3 lattice links each.
+
+    The SWDC paper's 3D hexagonal torus gives every node three lattice
+    neighbours (so that with three random links the degree is six).  We model
+    it as a prism over a 2D torus of dimensions L x M with alternating
+    vertical links, which reproduces the degree-3 lattice structure.
+    """
+    if num_nodes % 2 != 0:
+        raise TopologyError("3D hex torus requires an even node count")
+    half = num_nodes // 2
+    side = int(round(math.sqrt(half)))
+    if side * side != half:
+        raise TopologyError(
+            "3D hex torus requires num_nodes = 2 * s^2 for integer s, "
+            f"got {num_nodes}"
+        )
+    graph = nx.Graph()
+    for layer in range(2):
+        for x in range(side):
+            for y in range(side):
+                graph.add_node((x, y, layer))
+    for x in range(side):
+        for y in range(side):
+            # Each node gets two in-layer links (a hexagonal tiling has
+            # alternating link directions) and one inter-layer link.
+            for layer in range(2):
+                graph.add_edge((x, y, layer), ((x + 1) % side, y, layer))
+            graph.add_edge((x, y, 0), (x, y, 1))
+    return graph
+
+
+class SmallWorldTopology(Topology):
+    """SWDC topology: lattice links plus random shortcuts up to a target degree."""
+
+    def __init__(self, graph, ports, servers, variant: str, name: str):
+        super().__init__(graph, ports, servers, name=name)
+        self.variant = variant
+
+    @classmethod
+    def build(
+        cls,
+        num_nodes: int,
+        variant: str = RING,
+        degree: int = 6,
+        servers_per_switch: int = 1,
+        ports_per_switch: int = None,
+        rng: RngLike = None,
+    ) -> "SmallWorldTopology":
+        """Build an SWDC topology.
+
+        ``degree`` is the total network degree (lattice plus random links);
+        ``ports_per_switch`` defaults to ``degree + servers_per_switch``.
+        """
+        require_integer(num_nodes, "num_nodes")
+        require_integer(degree, "degree")
+        if variant not in _VARIANTS:
+            raise TopologyError(
+                f"unknown SWDC variant {variant!r}; expected one of {_VARIANTS}"
+            )
+        if num_nodes < 4:
+            raise TopologyError("SWDC topologies need at least 4 nodes")
+        rand = ensure_rng(rng)
+
+        if variant == RING:
+            graph = _ring_lattice(num_nodes)
+        elif variant == TORUS_2D:
+            graph, _ = _torus_2d_lattice(num_nodes)
+        else:
+            graph = _hex_torus_3d_lattice(num_nodes)
+
+        lattice_degree = max(dict(graph.degree()).values())
+        if degree < lattice_degree:
+            raise TopologyError(
+                f"target degree {degree} is below the lattice degree {lattice_degree}"
+            )
+        cls._add_random_shortcuts(graph, degree, rand)
+
+        if ports_per_switch is None:
+            ports_per_switch = degree + servers_per_switch
+        ports = {node: ports_per_switch for node in graph.nodes}
+        servers = {node: servers_per_switch for node in graph.nodes}
+        return cls(
+            graph,
+            ports,
+            servers,
+            variant=variant,
+            name=f"swdc-{variant}",
+        )
+
+    @staticmethod
+    def _add_random_shortcuts(graph: nx.Graph, degree: int, rand) -> None:
+        """Fill every node up to ``degree`` with uniform-random shortcut links."""
+        def deficient_nodes() -> List[Hashable]:
+            return [node for node in graph.nodes if graph.degree(node) < degree]
+
+        stalled = 0
+        while True:
+            candidates = deficient_nodes()
+            if len(candidates) < 2:
+                break
+            added = False
+            attempts = 4 * len(candidates)
+            for _ in range(attempts):
+                u, v = rand.sample(candidates, 2)
+                if not graph.has_edge(u, v):
+                    graph.add_edge(u, v)
+                    added = True
+                    break
+            if not added:
+                # Exhaustive check before giving up.
+                for i, u in enumerate(candidates):
+                    for v in candidates[i + 1:]:
+                        if not graph.has_edge(u, v):
+                            graph.add_edge(u, v)
+                            added = True
+                            break
+                    if added:
+                        break
+            if not added:
+                stalled += 1
+                if stalled > 2:
+                    break  # a couple of ports may remain free, as in Jellyfish
+
+    def set_servers_per_switch(self, servers_per_switch: int) -> None:
+        """Re-provision every switch with ``servers_per_switch`` servers.
+
+        Used to oversubscribe the Fig 4 comparison (2 servers per switch).
+        Port counts are grown if necessary so the budget stays valid.
+        """
+        require_integer(servers_per_switch, "servers_per_switch")
+        if servers_per_switch < 0:
+            raise TopologyError("servers_per_switch must be non-negative")
+        for node in self.graph.nodes:
+            needed = self.graph.degree(node) + servers_per_switch
+            if self.ports[node] < needed:
+                self.ports[node] = needed
+            self.servers[node] = servers_per_switch
+        self.validate()

@@ -1,0 +1,17 @@
+"""Traffic matrices used by the evaluation."""
+
+from repro.traffic.matrices import (
+    TrafficMatrix,
+    all_to_all_traffic,
+    hotspot_traffic,
+    random_permutation_traffic,
+    stride_traffic,
+)
+
+__all__ = [
+    "TrafficMatrix",
+    "all_to_all_traffic",
+    "hotspot_traffic",
+    "random_permutation_traffic",
+    "stride_traffic",
+]

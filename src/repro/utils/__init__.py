@@ -1,0 +1,15 @@
+"""Shared utilities: seeded RNG handling, argument validation, statistics."""
+
+from repro.utils.rng import ensure_rng
+from repro.utils.stats import jains_fairness_index, mean, percentile, summarize
+from repro.utils.validation import require_non_negative, require_positive
+
+__all__ = [
+    "ensure_rng",
+    "jains_fairness_index",
+    "mean",
+    "percentile",
+    "summarize",
+    "require_non_negative",
+    "require_positive",
+]

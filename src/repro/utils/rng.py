@@ -1,0 +1,47 @@
+"""Random-number-generator plumbing.
+
+Every stochastic routine in this package accepts an optional ``rng``
+argument.  ``ensure_rng`` normalizes the accepted forms (``None``, an integer
+seed, or an existing ``random.Random``) into a ``random.Random`` instance so
+experiments are reproducible when a seed is supplied and independent when it
+is not.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Union
+
+RngLike = Union[None, int, random.Random]
+
+
+def ensure_rng(rng: RngLike = None) -> random.Random:
+    """Return a ``random.Random`` for ``rng``.
+
+    Accepts ``None`` (fresh, OS-seeded generator), an ``int`` seed, or an
+    existing ``random.Random`` (returned unchanged so callers can share
+    state across composed routines).
+    """
+    if rng is None:
+        return random.Random()
+    if isinstance(rng, random.Random):
+        return rng
+    if isinstance(rng, bool):  # bool is an int subclass; reject explicitly
+        raise TypeError("rng must be None, an int seed, or random.Random")
+    if isinstance(rng, int):
+        return random.Random(rng)
+    raise TypeError(
+        f"rng must be None, an int seed, or random.Random, got {type(rng).__name__}"
+    )
+
+
+def spawn_seeds(rng: RngLike, count: int) -> list:
+    """Derive ``count`` independent integer seeds from ``rng``.
+
+    Useful for running repeated trials whose individual seeds should be
+    reproducible given the parent seed.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    parent = ensure_rng(rng)
+    return [parent.randrange(2**63) for _ in range(count)]

@@ -1,0 +1,37 @@
+"""Small argument-validation helpers used across the package.
+
+These keep constructor bodies readable and error messages consistent.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+
+def require_positive(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number > 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value <= 0:
+        raise ValueError(f"{name} must be positive, got {value!r}")
+
+
+def require_non_negative(value, name: str) -> None:
+    """Raise ``ValueError`` unless ``value`` is a real number >= 0."""
+    if not isinstance(value, Real) or isinstance(value, bool):
+        raise TypeError(f"{name} must be a number, got {type(value).__name__}")
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+
+
+def require_integer(value, name: str) -> None:
+    """Raise unless ``value`` is an ``int`` (bools rejected)."""
+    if not isinstance(value, int) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an integer, got {type(value).__name__}")
+
+
+def require_fraction(value, name: str) -> None:
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    require_non_negative(value, name)
+    if value > 1:
+        raise ValueError(f"{name} must be at most 1, got {value!r}")

@@ -1,0 +1,35 @@
+"""Shared fixtures: small topologies reused across the test suite."""
+
+import pytest
+
+from repro.topologies.fattree import FatTreeTopology
+from repro.topologies.jellyfish import JellyfishTopology
+
+
+@pytest.fixture(scope="session")
+def small_fattree():
+    """A k=4 fat-tree: 20 switches, 16 servers, 32 links."""
+    return FatTreeTopology.build(4)
+
+
+@pytest.fixture(scope="session")
+def medium_fattree():
+    """A k=6 fat-tree: 45 switches, 54 servers."""
+    return FatTreeTopology.build(6)
+
+
+@pytest.fixture()
+def small_jellyfish():
+    """RRG(20, 6, 4): 20 switches with 2 servers each."""
+    return JellyfishTopology.build(20, 6, 4, rng=42)
+
+
+@pytest.fixture()
+def equipment_jellyfish(medium_fattree):
+    """Jellyfish built from the k=6 fat-tree's equipment, same server count."""
+    return JellyfishTopology.from_equipment(
+        num_switches=medium_fattree.num_switches,
+        ports_per_switch=6,
+        num_servers=medium_fattree.num_servers,
+        rng=7,
+    )

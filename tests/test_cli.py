@@ -1,0 +1,37 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig01"])
+        assert args.experiments == ["fig01"]
+        assert args.scale == "small"
+        assert args.seed == 0
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig01", "--scale", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table1" in out
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["fig02a", "--seed", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02a" in out
+        assert "jellyfish_normalized_bisection" in out
+
+    def test_unknown_experiment_sets_exit_code(self, capsys):
+        assert main(["not-a-figure"]) == 2
+
+    def test_no_arguments_errors(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,64 @@
+"""Tests for the expansion cost model."""
+
+import pytest
+
+from repro.expansion.cost import CostModel
+
+
+class TestSwitchAndCableCosts:
+    def test_switch_cost_scales_with_ports(self):
+        model = CostModel(cost_per_port=100.0)
+        assert model.switch_cost(24) == pytest.approx(2400.0)
+        assert model.switch_cost(48) == pytest.approx(4800.0)
+
+    def test_cable_cost_electrical(self):
+        model = CostModel(cable_cost_per_meter=5.0, labor_fraction=0.1)
+        assert model.cable_cost(4.0) == pytest.approx(4.0 * 5.0 * 1.1)
+
+    def test_cable_cost_optical_adds_transceiver(self):
+        model = CostModel(
+            cable_cost_per_meter=5.0,
+            optical_transceiver_cost=200.0,
+            electrical_cable_limit_m=10.0,
+            labor_fraction=0.0,
+        )
+        assert model.cable_cost(12.0) == pytest.approx(12 * 5 + 200)
+
+    def test_default_length_used(self):
+        model = CostModel(default_cable_length_m=5.0)
+        assert model.cable_cost() == model.cable_cost(5.0)
+
+    def test_cables_cost(self):
+        model = CostModel()
+        assert model.cables_cost(3, 2.0) == pytest.approx(3 * model.cable_cost(2.0))
+
+    def test_rewiring_cost(self):
+        model = CostModel(rewiring_cost_per_cable=7.0)
+        assert model.rewiring_cost(4) == pytest.approx(28.0)
+
+    def test_expansion_cost_composition(self):
+        model = CostModel()
+        total = model.expansion_cost(
+            new_switch_ports=24, new_cables=10, cables_moved=5, cable_length_m=3.0
+        )
+        expected = (
+            model.cost_per_port * 24
+            + model.cables_cost(10, 3.0)
+            + model.rewiring_cost(5)
+        )
+        assert total == pytest.approx(expected)
+
+
+class TestValidation:
+    def test_negative_constant_rejected(self):
+        with pytest.raises(ValueError):
+            CostModel(cost_per_port=-1.0)
+
+    def test_negative_arguments_rejected(self):
+        model = CostModel()
+        with pytest.raises(ValueError):
+            model.switch_cost(-1)
+        with pytest.raises(ValueError):
+            model.cable_cost(-2.0)
+        with pytest.raises(ValueError):
+            model.rewiring_cost(-3)

@@ -1,0 +1,125 @@
+"""Smoke and shape tests for the experiment runners (one per paper figure/table)."""
+
+import pytest
+
+from repro.experiments.common import (
+    ExperimentResult,
+    format_table,
+    list_experiments,
+    run_experiment,
+)
+
+ALL_EXPERIMENTS = list_experiments()
+
+
+class TestRegistry:
+    def test_all_seventeen_experiments_registered(self):
+        assert len(ALL_EXPERIMENTS) == 17
+        assert "fig01" in ALL_EXPERIMENTS
+        assert "table1" in ALL_EXPERIMENTS
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("fig99")
+
+
+class TestResultContainer:
+    def test_add_row_validates_length(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row(1, 2)
+        with pytest.raises(ValueError):
+            result.add_row(1)
+
+    def test_column_access(self):
+        result = ExperimentResult("x", "t", ["a", "b"])
+        result.add_row(1, 2)
+        result.add_row(3, 4)
+        assert result.column("b") == [2, 4]
+        with pytest.raises(KeyError):
+            result.column("c")
+
+    def test_as_dicts_and_format(self):
+        result = ExperimentResult("x", "t", ["a"], notes="hello")
+        result.add_row(1.23456)
+        assert result.as_dicts() == [{"a": 1.23456}]
+        text = format_table(result)
+        assert "x: t" in text and "hello" in text
+
+
+@pytest.mark.parametrize("experiment_id", ALL_EXPERIMENTS)
+def test_every_experiment_runs_at_small_scale(experiment_id):
+    result = run_experiment(experiment_id, scale="small", seed=0)
+    assert isinstance(result, ExperimentResult)
+    assert result.rows, f"{experiment_id} produced no rows"
+    assert result.experiment_id == experiment_id
+    # The formatted table must render without errors.
+    assert format_table(result)
+
+
+class TestHeadlineClaims:
+    """The qualitative results the paper leads with must reproduce."""
+
+    def test_fig01_jellyfish_reaches_more_servers_in_fewer_hops(self):
+        result = run_experiment("fig01", scale="small", seed=0)
+        rows = result.as_dicts()
+        # At an intermediate hop count Jellyfish's CDF dominates the fat-tree's.
+        intermediate = [r for r in rows if 0.05 < r["fattree_fraction"] < 0.999]
+        assert intermediate
+        assert all(
+            r["jellyfish_fraction"] >= r["fattree_fraction"] - 1e-9 for r in intermediate
+        )
+
+    def test_fig02c_jellyfish_supports_at_least_as_many_servers(self):
+        result = run_experiment("fig02c", scale="small", seed=0)
+        advantages = result.column("jellyfish_advantage")
+        assert max(advantages) >= 1.0
+
+    def test_fig05_short_paths(self):
+        result = run_experiment("fig05", scale="small", seed=0)
+        assert all(value <= 4 for value in result.column("scratch_diameter"))
+
+    def test_fig06_incremental_matches_scratch(self):
+        result = run_experiment("fig06", scale="small", seed=0)
+        for row in result.as_dicts():
+            assert row["incremental_throughput"] == pytest.approx(
+                row["from_scratch_throughput"], abs=0.1
+            )
+
+    def test_fig07_jellyfish_beats_clos_expansion(self):
+        result = run_experiment("fig07", scale="small", seed=0)
+        last = result.as_dicts()[-1]
+        assert last["jellyfish_normalized_bisection"] > last["clos_normalized_bisection"]
+
+    def test_fig08_graceful_degradation(self):
+        result = run_experiment("fig08", scale="small", seed=0)
+        rows = result.as_dicts()
+        baseline = rows[0]["jellyfish_throughput"]
+        worst = rows[-1]["jellyfish_throughput"]
+        assert worst >= baseline - 0.45
+
+    def test_fig09_ksp_spreads_better_than_ecmp(self):
+        result = run_experiment("fig09", scale="small", seed=0)
+        rows = {row["routing"]: row for row in result.as_dicts()}
+        assert (
+            rows["8 shortest paths"]["fraction_links_on_at_most_2_paths"]
+            < rows["8-way ECMP"]["fraction_links_on_at_most_2_paths"]
+        )
+
+    def test_table1_orderings(self):
+        result = run_experiment("table1", scale="small", seed=0)
+        rows = {row["congestion_control"]: row for row in result.as_dicts()}
+        mptcp = rows["MPTCP 8 subflows"]
+        # k-shortest-path routing recovers the capacity ECMP wastes on Jellyfish.
+        assert mptcp["jellyfish_8_shortest_paths"] > mptcp["jellyfish_ecmp"]
+        # Multi-path congestion control beats single-flow TCP on the fat-tree.
+        assert mptcp["fattree_ecmp"] > rows["TCP 1 flow"]["fattree_ecmp"]
+
+    def test_fig13_fairness_is_high(self):
+        result = run_experiment("fig13", scale="small", seed=0)
+        assert all(value > 0.8 for value in result.column("jain_fairness_index"))
+
+    def test_fig14_localization_costs_little(self):
+        result = run_experiment("fig14", scale="small", seed=0)
+        rows = result.as_dicts()
+        moderate = [r for r in rows if r["requested_local_fraction"] <= 0.6]
+        assert all(r["throughput_normalized_to_unrestricted"] > 0.7 for r in moderate)

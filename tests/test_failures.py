@@ -1,0 +1,70 @@
+"""Tests for failure injection."""
+
+import pytest
+
+from repro.failures.injection import (
+    fail_random_links,
+    fail_random_switches,
+    throughput_under_link_failures,
+)
+
+
+class TestFailRandomLinks:
+    def test_fraction_of_links_removed(self, small_jellyfish):
+        failed = fail_random_links(small_jellyfish, 0.25, rng=1)
+        expected_removed = round(0.25 * small_jellyfish.num_links)
+        assert failed.num_links == small_jellyfish.num_links - expected_removed
+
+    def test_original_untouched(self, small_jellyfish):
+        links_before = small_jellyfish.num_links
+        fail_random_links(small_jellyfish, 0.5, rng=2)
+        assert small_jellyfish.num_links == links_before
+
+    def test_servers_preserved(self, small_jellyfish):
+        failed = fail_random_links(small_jellyfish, 0.3, rng=3)
+        assert failed.num_servers == small_jellyfish.num_servers
+
+    def test_zero_fraction_is_identity(self, small_jellyfish):
+        failed = fail_random_links(small_jellyfish, 0.0, rng=4)
+        assert failed.num_links == small_jellyfish.num_links
+
+    def test_invalid_fraction(self, small_jellyfish):
+        with pytest.raises(ValueError):
+            fail_random_links(small_jellyfish, 1.5)
+
+
+class TestFailRandomSwitches:
+    def test_switches_and_their_servers_removed(self, small_jellyfish):
+        failed = fail_random_switches(small_jellyfish, 0.2, rng=1)
+        removed = round(0.2 * small_jellyfish.num_switches)
+        assert failed.num_switches == small_jellyfish.num_switches - removed
+        assert failed.num_servers < small_jellyfish.num_servers
+
+    def test_zero_fraction(self, small_jellyfish):
+        failed = fail_random_switches(small_jellyfish, 0.0, rng=2)
+        assert failed.num_switches == small_jellyfish.num_switches
+
+
+class TestThroughputUnderFailures:
+    def test_throughput_decreases_gracefully(self, small_jellyfish):
+        series = throughput_under_link_failures(
+            small_jellyfish, [0.0, 0.2], engine="path", k=8, rng=1
+        )
+        assert len(series) == 2
+        baseline = series[0][1]
+        degraded = series[1][1]
+        assert 0.0 <= degraded <= baseline + 0.15
+
+    def test_all_points_in_unit_interval(self, small_jellyfish):
+        series = throughput_under_link_failures(
+            small_jellyfish, [0.0, 0.1, 0.3], engine="path", k=4, rng=2
+        )
+        assert all(0.0 <= value <= 1.0 for _, value in series)
+
+    def test_heavy_failures_do_not_crash(self, small_jellyfish):
+        # Failing most links can disconnect the network; the harness must
+        # still return a (low) throughput value rather than raising.
+        series = throughput_under_link_failures(
+            small_jellyfish, [0.8], engine="path", k=4, rng=3
+        )
+        assert 0.0 <= series[0][1] <= 1.0

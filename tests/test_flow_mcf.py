@@ -1,0 +1,81 @@
+"""Tests for the LP throughput engines (edge-based and path-based)."""
+
+import networkx as nx
+import pytest
+
+from repro.flow.mcf import max_concurrent_flow_edge_lp
+from repro.flow.path_lp import max_concurrent_flow_path_lp
+from repro.topologies.base import Topology
+from repro.traffic.matrices import Demand, TrafficMatrix, random_permutation_traffic
+
+
+def line_topology():
+    """Two switches joined by one unit link, one server each."""
+    graph = nx.Graph()
+    graph.add_edge("a", "b")
+    return Topology(graph, {"a": 2, "b": 2}, {"a": 1, "b": 1}, name="line")
+
+
+def single_demand(rate: float) -> TrafficMatrix:
+    return TrafficMatrix([Demand(("a", 0), ("b", 0), rate)])
+
+
+class TestEdgeLp:
+    def test_single_link_theta(self):
+        assert max_concurrent_flow_edge_lp(line_topology(), single_demand(1.0)) == pytest.approx(1.0)
+        assert max_concurrent_flow_edge_lp(line_topology(), single_demand(2.0)) == pytest.approx(0.5)
+        assert max_concurrent_flow_edge_lp(line_topology(), single_demand(0.25)) == pytest.approx(4.0)
+
+    def test_empty_traffic_is_infinite(self):
+        assert max_concurrent_flow_edge_lp(line_topology(), TrafficMatrix([])) == float("inf")
+
+    def test_parallel_paths_add_capacity(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "m1")
+        graph.add_edge("m1", "b")
+        graph.add_edge("a", "m2")
+        graph.add_edge("m2", "b")
+        topo = Topology(graph, {n: 4 for n in graph.nodes}, {"a": 1, "b": 1})
+        theta = max_concurrent_flow_edge_lp(topo, single_demand(1.0))
+        assert theta == pytest.approx(2.0)
+
+    def test_respects_edge_capacity_attribute(self):
+        graph = nx.Graph()
+        graph.add_edge("a", "b", capacity=3.0)
+        topo = Topology(graph, {"a": 4, "b": 4}, {"a": 1, "b": 1})
+        assert max_concurrent_flow_edge_lp(topo, single_demand(1.0)) == pytest.approx(3.0)
+
+    def test_fattree_full_bisection(self, small_fattree):
+        traffic = random_permutation_traffic(small_fattree, rng=0)
+        theta = max_concurrent_flow_edge_lp(small_fattree, traffic)
+        assert theta >= 1.0 - 1e-6
+
+
+class TestPathLp:
+    def test_matches_edge_lp_on_single_link(self):
+        topo = line_topology()
+        traffic = single_demand(2.0)
+        assert max_concurrent_flow_path_lp(topo, traffic, k=4) == pytest.approx(
+            max_concurrent_flow_edge_lp(topo, traffic)
+        )
+
+    def test_lower_bound_of_edge_lp(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=1)
+        edge_theta = max_concurrent_flow_edge_lp(small_jellyfish, traffic)
+        path_theta = max_concurrent_flow_path_lp(small_jellyfish, traffic, k=8)
+        assert path_theta <= edge_theta + 1e-6
+
+    def test_close_to_edge_lp_with_enough_paths(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=2)
+        edge_theta = max_concurrent_flow_edge_lp(small_jellyfish, traffic)
+        path_theta = max_concurrent_flow_path_lp(small_jellyfish, traffic, k=16)
+        assert path_theta >= 0.9 * edge_theta
+
+    def test_more_paths_never_hurt(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=3)
+        theta_few = max_concurrent_flow_path_lp(small_jellyfish, traffic, k=2)
+        theta_many = max_concurrent_flow_path_lp(small_jellyfish, traffic, k=8)
+        assert theta_many >= theta_few - 1e-9
+
+    def test_empty_traffic(self, small_jellyfish):
+        assert max_concurrent_flow_path_lp(small_jellyfish, TrafficMatrix([])) == float("inf")

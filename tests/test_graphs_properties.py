@@ -1,0 +1,93 @@
+"""Tests for graph metrics (repro.graphs.properties)."""
+
+import networkx as nx
+import pytest
+
+from repro.graphs.properties import (
+    average_path_length,
+    bfs_distances,
+    degree_histogram,
+    diameter,
+    is_connected,
+    node_connectivity_at_least,
+    path_length_cdf,
+    path_length_distribution,
+)
+
+
+class TestBfsDistances:
+    def test_path_graph(self):
+        graph = nx.path_graph(4)
+        assert bfs_distances(graph, 0) == {0: 0, 1: 1, 2: 2, 3: 3}
+
+    def test_unreachable_nodes_absent(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        assert bfs_distances(graph, 0) == {0: 0}
+
+
+class TestPathLengthDistribution:
+    def test_triangle(self):
+        histogram = path_length_distribution(nx.complete_graph(3))
+        assert histogram == {1: 3}
+
+    def test_path_graph_counts(self):
+        histogram = path_length_distribution(nx.path_graph(4))
+        assert histogram[1] == 3
+        assert histogram[2] == 2
+        assert histogram[3] == 1
+
+    def test_restricted_node_subset(self):
+        graph = nx.path_graph(5)
+        histogram = path_length_distribution(graph, nodes=[0, 4])
+        assert histogram == {4: 1}
+
+
+class TestAveragePathLengthAndDiameter:
+    def test_cycle(self):
+        graph = nx.cycle_graph(6)
+        assert diameter(graph) == 3
+        assert average_path_length(graph) == pytest.approx((1 * 6 + 2 * 6 + 3 * 3) / 15)
+
+    def test_complete_graph(self):
+        graph = nx.complete_graph(5)
+        assert diameter(graph) == 1
+        assert average_path_length(graph) == pytest.approx(1.0)
+
+    def test_disconnected_raises(self):
+        graph = nx.Graph()
+        graph.add_nodes_from([0, 1])
+        with pytest.raises(ValueError):
+            average_path_length(graph)
+
+    def test_matches_networkx(self):
+        graph = nx.random_regular_graph(3, 20, seed=1)
+        assert average_path_length(graph) == pytest.approx(
+            nx.average_shortest_path_length(graph)
+        )
+        assert diameter(graph) == nx.diameter(graph)
+
+
+class TestPathLengthCdf:
+    def test_monotone_and_ends_at_one(self):
+        graph = nx.random_regular_graph(3, 16, seed=2)
+        cdf = path_length_cdf(graph)
+        values = [cdf[h] for h in sorted(cdf)]
+        assert values == sorted(values)
+        assert values[-1] == pytest.approx(1.0)
+
+
+class TestOtherMetrics:
+    def test_is_connected_empty(self):
+        assert is_connected(nx.Graph())
+
+    def test_degree_histogram(self):
+        graph = nx.star_graph(3)  # one hub of degree 3, three leaves of degree 1
+        histogram = degree_histogram(graph)
+        assert histogram == {3: 1, 1: 3}
+
+    def test_node_connectivity(self):
+        graph = nx.complete_graph(5)
+        assert node_connectivity_at_least(graph, 4)
+        assert not node_connectivity_at_least(graph, 5)
+        assert node_connectivity_at_least(graph, 0)

@@ -1,0 +1,51 @@
+"""Tests for path-diversity accounting (Fig 9 machinery)."""
+
+import pytest
+
+from repro.routing.diversity import (
+    fraction_links_at_or_below,
+    link_path_counts,
+    ranked_counts,
+)
+
+
+class TestLinkPathCounts:
+    def test_counts_directed_links(self):
+        paths = [(0, 1, 2), (0, 1, 3)]
+        counts = link_path_counts(paths)
+        assert counts[(0, 1)] == 2
+        assert counts[(1, 2)] == 1
+        assert (1, 0) not in counts
+
+    def test_duplicate_paths_counted_once(self):
+        paths = [(0, 1, 2), (0, 1, 2)]
+        counts = link_path_counts(paths)
+        assert counts[(0, 1)] == 1
+
+    def test_empty(self):
+        assert link_path_counts([]) == {}
+
+
+class TestRankedCounts:
+    def test_padding_with_zeros(self):
+        counts = {(0, 1): 3, (1, 2): 1}
+        assert ranked_counts(counts, total_links=4) == [0, 0, 1, 3]
+
+    def test_no_padding(self):
+        counts = {(0, 1): 3, (1, 2): 1}
+        assert ranked_counts(counts) == [1, 3]
+
+    def test_total_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            ranked_counts({(0, 1): 1, (1, 2): 1}, total_links=1)
+
+
+class TestFractionAtOrBelow:
+    def test_counts_unused_links(self):
+        counts = {(0, 1): 5, (1, 2): 1}
+        # 4 links total: two unused (0 paths), one with 1, one with 5.
+        assert fraction_links_at_or_below(counts, 2, total_links=4) == pytest.approx(0.75)
+
+    def test_zero_total_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_links_at_or_below({}, 2, total_links=0)

@@ -1,0 +1,81 @@
+"""Tests for the round-based AIMD (TCP/MPTCP) simulator."""
+
+import pytest
+
+from repro.simulation.aimd import AimdConfig, simulate_aimd
+from repro.simulation.fluid import MPTCP, TCP_ONE_FLOW
+from repro.traffic.matrices import random_permutation_traffic
+
+
+class TestConfig:
+    def test_to_simulation_config(self):
+        config = AimdConfig(routing="ecmp", k=4, congestion_control=TCP_ONE_FLOW)
+        sim = config.to_simulation_config()
+        assert sim.routing == "ecmp"
+        assert sim.k == 4
+        assert sim.congestion_control == TCP_ONE_FLOW
+
+
+class TestSimulation:
+    def test_throughputs_in_unit_interval(self, small_jellyfish):
+        result = simulate_aimd(
+            small_jellyfish, config=AimdConfig(rounds=60, warmup_rounds=20), rng=1
+        )
+        assert result.flow_throughputs
+        assert all(0.0 <= value <= 1.0 for value in result.flow_throughputs)
+
+    def test_one_result_per_flow(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=2)
+        result = simulate_aimd(
+            small_jellyfish, traffic,
+            AimdConfig(rounds=60, warmup_rounds=20), rng=2,
+        )
+        assert len(result.flow_throughputs) == len(traffic)
+
+    def test_empty_traffic(self, small_jellyfish):
+        topo = small_jellyfish.copy()
+        for node in topo.graph.nodes:
+            topo.servers[node] = 0
+        result = simulate_aimd(topo, rng=3)
+        assert result.average_throughput == 1.0
+
+    def test_longer_simulation_converges_higher(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=4)
+        short = simulate_aimd(
+            small_jellyfish, traffic, AimdConfig(rounds=12, warmup_rounds=2), rng=4
+        )
+        long = simulate_aimd(
+            small_jellyfish, traffic, AimdConfig(rounds=150, warmup_rounds=50), rng=4
+        )
+        # After warm-up the AIMD windows should have grown toward equilibrium.
+        assert long.average_throughput >= short.average_throughput - 0.05
+
+    def test_mptcp_not_worse_than_single_path_tcp(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=5)
+        tcp = simulate_aimd(
+            small_jellyfish, traffic,
+            AimdConfig(congestion_control=TCP_ONE_FLOW, rounds=120, warmup_rounds=40),
+            rng=5,
+        )
+        mptcp = simulate_aimd(
+            small_jellyfish, traffic,
+            AimdConfig(congestion_control=MPTCP, rounds=120, warmup_rounds=40),
+            rng=5,
+        )
+        assert mptcp.average_throughput >= tcp.average_throughput - 0.05
+
+    def test_agrees_roughly_with_fluid_model(self, small_jellyfish):
+        from repro.simulation.fluid import SimulationConfig, simulate_fluid
+
+        traffic = random_permutation_traffic(small_jellyfish, rng=6)
+        fluid = simulate_fluid(
+            small_jellyfish, traffic,
+            SimulationConfig(routing="ksp", congestion_control=MPTCP), rng=6,
+        )
+        aimd = simulate_aimd(
+            small_jellyfish, traffic,
+            AimdConfig(routing="ksp", congestion_control=MPTCP,
+                       rounds=200, warmup_rounds=80),
+            rng=6,
+        )
+        assert abs(fluid.average_throughput - aimd.average_throughput) < 0.35

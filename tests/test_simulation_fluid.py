@@ -1,0 +1,119 @@
+"""Tests for the fluid (flow-level) routing + congestion-control simulator."""
+
+import pytest
+
+from repro.flow.throughput import normalized_throughput
+from repro.simulation.fluid import (
+    MPTCP,
+    TCP_EIGHT_FLOWS,
+    TCP_ONE_FLOW,
+    SimulationConfig,
+    simulate_fluid,
+)
+from repro.traffic.matrices import random_permutation_traffic
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        config = SimulationConfig()
+        assert config.routing == "ksp"
+        assert config.congestion_control == MPTCP
+
+    def test_invalid_routing(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(routing="pigeon")
+
+    def test_invalid_congestion_control(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(congestion_control="udp")
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            SimulationConfig(k=0)
+
+
+class TestBasicBehaviour:
+    def test_throughputs_in_unit_interval(self, equipment_jellyfish):
+        result = simulate_fluid(equipment_jellyfish, rng=1)
+        assert result.flow_throughputs
+        assert all(0.0 <= value <= 1.0 for value in result.flow_throughputs)
+
+    def test_one_throughput_per_flow(self, equipment_jellyfish):
+        traffic = random_permutation_traffic(equipment_jellyfish, rng=2)
+        result = simulate_fluid(equipment_jellyfish, traffic, rng=2)
+        assert len(result.flow_throughputs) == len(traffic)
+
+    def test_empty_traffic(self, equipment_jellyfish):
+        topo = equipment_jellyfish.copy()
+        for node in topo.graph.nodes:
+            topo.servers[node] = 0
+        result = simulate_fluid(topo, rng=3)
+        assert result.average_throughput == 1.0
+        assert result.fairness == 1.0
+
+    def test_fairness_in_unit_interval(self, medium_fattree):
+        result = simulate_fluid(
+            medium_fattree,
+            config=SimulationConfig(routing="ecmp", congestion_control=MPTCP),
+            rng=4,
+        )
+        assert 0.0 < result.fairness <= 1.0
+
+
+class TestPaperOrderings:
+    """Qualitative relationships from Table 1 must hold."""
+
+    def test_fattree_ecmp_multiflow_beats_single_flow(self, medium_fattree):
+        traffic = random_permutation_traffic(medium_fattree, rng=5)
+        single = simulate_fluid(
+            medium_fattree, traffic,
+            SimulationConfig(routing="ecmp", congestion_control=TCP_ONE_FLOW), rng=5,
+        )
+        multi = simulate_fluid(
+            medium_fattree, traffic,
+            SimulationConfig(routing="ecmp", congestion_control=TCP_EIGHT_FLOWS), rng=5,
+        )
+        assert multi.average_throughput > single.average_throughput
+
+    def test_jellyfish_ksp_mptcp_beats_ecmp_mptcp(self, equipment_jellyfish):
+        traffic = random_permutation_traffic(equipment_jellyfish, rng=6)
+        ecmp = simulate_fluid(
+            equipment_jellyfish, traffic,
+            SimulationConfig(routing="ecmp", congestion_control=MPTCP), rng=6,
+        )
+        ksp = simulate_fluid(
+            equipment_jellyfish, traffic,
+            SimulationConfig(routing="ksp", congestion_control=MPTCP), rng=6,
+        )
+        assert ksp.average_throughput > ecmp.average_throughput
+
+    def test_fattree_ecmp_mptcp_is_high(self, medium_fattree):
+        result = simulate_fluid(
+            medium_fattree,
+            config=SimulationConfig(routing="ecmp", congestion_control=MPTCP),
+            rng=7,
+        )
+        assert result.average_throughput > 0.85
+
+    def test_simulated_throughput_below_lp_optimum(self, equipment_jellyfish):
+        traffic = random_permutation_traffic(equipment_jellyfish, rng=8)
+        optimum = normalized_throughput(
+            equipment_jellyfish, traffic, engine="path", k=12
+        ).normalized
+        simulated = simulate_fluid(
+            equipment_jellyfish, traffic,
+            SimulationConfig(routing="ksp", congestion_control=MPTCP), rng=8,
+        ).average_throughput
+        assert simulated <= optimum + 0.1
+
+    def test_mptcp_at_least_tcp8_on_ksp(self, equipment_jellyfish):
+        traffic = random_permutation_traffic(equipment_jellyfish, rng=9)
+        tcp8 = simulate_fluid(
+            equipment_jellyfish, traffic,
+            SimulationConfig(routing="ksp", congestion_control=TCP_EIGHT_FLOWS), rng=9,
+        )
+        mptcp = simulate_fluid(
+            equipment_jellyfish, traffic,
+            SimulationConfig(routing="ksp", congestion_control=MPTCP), rng=9,
+        )
+        assert mptcp.average_throughput >= tcp8.average_throughput - 1e-6

@@ -1,0 +1,45 @@
+"""Tests for repro.utils.rng."""
+
+import random
+
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_seeds
+
+
+class TestEnsureRng:
+    def test_none_returns_random_instance(self):
+        assert isinstance(ensure_rng(None), random.Random)
+
+    def test_int_seed_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_different_seeds_differ(self):
+        assert ensure_rng(1).random() != ensure_rng(2).random()
+
+    def test_random_instance_passes_through(self):
+        rng = random.Random(3)
+        assert ensure_rng(rng) is rng
+
+    def test_bool_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(True)
+
+    def test_other_types_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawnSeeds:
+    def test_count(self):
+        assert len(spawn_seeds(0, 5)) == 5
+
+    def test_deterministic_given_parent_seed(self):
+        assert spawn_seeds(11, 4) == spawn_seeds(11, 4)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+    def test_zero_count(self):
+        assert spawn_seeds(0, 0) == []

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    require_fraction,
+    require_integer,
+    require_non_negative,
+    require_positive,
+)
+
+
+class TestRequirePositive:
+    def test_accepts_positive(self):
+        require_positive(1, "x")
+        require_positive(0.5, "x")
+
+    def test_rejects_zero_and_negative(self):
+        with pytest.raises(ValueError):
+            require_positive(0, "x")
+        with pytest.raises(ValueError):
+            require_positive(-1, "x")
+
+    def test_rejects_non_numbers(self):
+        with pytest.raises(TypeError):
+            require_positive("3", "x")
+        with pytest.raises(TypeError):
+            require_positive(True, "x")
+
+
+class TestRequireNonNegative:
+    def test_accepts_zero(self):
+        require_non_negative(0, "x")
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            require_non_negative(-0.1, "x")
+
+
+class TestRequireInteger:
+    def test_accepts_int(self):
+        require_integer(5, "x")
+
+    def test_rejects_float_and_bool(self):
+        with pytest.raises(TypeError):
+            require_integer(5.0, "x")
+        with pytest.raises(TypeError):
+            require_integer(True, "x")
+
+
+class TestRequireFraction:
+    def test_accepts_bounds(self):
+        require_fraction(0.0, "x")
+        require_fraction(1.0, "x")
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            require_fraction(1.5, "x")
+        with pytest.raises(ValueError):
+            require_fraction(-0.5, "x")
