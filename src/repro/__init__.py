@@ -37,8 +37,17 @@ from repro.simulation import (
     simulate_fluid,
 )
 from repro.failures import fail_random_links, fail_random_switches
+from repro.engine import (
+    ResultCache,
+    ScenarioPoint,
+    ScenarioSpec,
+    SweepRunner,
+    list_sweeps,
+    run_sweep,
+    sweep_points,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "FatTreeTopology",
@@ -68,5 +77,12 @@ __all__ = [
     "simulate_fluid",
     "fail_random_links",
     "fail_random_switches",
+    "ResultCache",
+    "ScenarioPoint",
+    "ScenarioSpec",
+    "SweepRunner",
+    "list_sweeps",
+    "run_sweep",
+    "sweep_points",
     "__version__",
 ]

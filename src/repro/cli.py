@@ -1,4 +1,4 @@
-"""Command-line entry point: run any of the paper's experiments.
+"""Command-line entry point: run the paper's experiments and scenario sweeps.
 
 Examples
 --------
@@ -13,6 +13,14 @@ Reproduce Table 1 at the fast (small) scale and print the table::
 Run the Fig 2(c) throughput comparison at closer-to-paper scale::
 
     jellyfish-repro fig02c --scale paper --seed 7
+
+Run figures through the scenario engine -- sharded over 4 worker processes
+with a content-addressed result cache, so a second invocation is served from
+disk::
+
+    jellyfish-repro sweep run fig01 fig02a --workers 4 --seed 7
+    jellyfish-repro sweep list
+    jellyfish-repro sweep show fig02a --scale paper
 """
 
 from __future__ import annotations
@@ -24,10 +32,27 @@ from typing import List, Optional
 from repro.experiments.common import format_table, list_experiments, run_experiment
 
 
+def _add_reproducibility_options(parser: argparse.ArgumentParser) -> None:
+    """The global knobs every subcommand shares: problem size and seed."""
+    parser.add_argument(
+        "--scale",
+        choices=["small", "paper"],
+        default="small",
+        help="problem sizes: 'small' is fast, 'paper' is closer to the paper's sizes",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed; the same seed reproduces the same output for every subcommand",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="jellyfish-repro",
         description="Reproduce tables and figures from 'Jellyfish: Networking Data Centers Randomly'",
+        epilog="use 'jellyfish-repro sweep --help' for the scenario-engine interface",
     )
     parser.add_argument(
         "experiments",
@@ -37,17 +62,141 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list", action="store_true", help="list available experiment ids and exit"
     )
-    parser.add_argument(
-        "--scale",
-        choices=["small", "paper"],
-        default="small",
-        help="problem sizes: 'small' is fast, 'paper' is closer to the paper's sizes",
-    )
-    parser.add_argument("--seed", type=int, default=0, help="random seed")
+    _add_reproducibility_options(parser)
     return parser
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError("must be non-negative")
+    return value
+
+
+def build_sweep_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro sweep",
+        description="Run experiments as declarative scenario sweeps (parallel, cached)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    _add_reproducibility_options(common)
+
+    run_parser = subparsers.add_parser(
+        "run", parents=[common], help="run sweeps and print their result tables"
+    )
+    run_parser.add_argument("sweeps", nargs="+", help="sweep ids (e.g. fig01 table1)")
+    run_parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes for sharded execution (0 = serial in-process)",
+    )
+    run_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result cache directory (default: $REPRO_CACHE_DIR or ~/.cache/jellyfish-repro)",
+    )
+    run_parser.add_argument(
+        "--no-cache", action="store_true", help="disable the result cache"
+    )
+    run_parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-point progress on stderr"
+    )
+
+    subparsers.add_parser("list", help="list registered sweeps and their grid sizes")
+
+    show_parser = subparsers.add_parser(
+        "show", parents=[common], help="show a sweep's scenario specs and point hashes"
+    )
+    show_parser.add_argument("sweeps", nargs="+", help="sweep ids to describe")
+    return parser
+
+
+def _sweep_list() -> int:
+    from repro.engine import list_sweeps, sweep_points
+
+    for sweep_id in list_sweeps():
+        points = sweep_points(sweep_id, scale="small", seed=0)
+        print(f"{sweep_id:8s} {len(points):4d} point(s)")
+    return 0
+
+
+def _sweep_show(args: argparse.Namespace) -> int:
+    from repro.engine import get_sweep, sweep_specs
+
+    exit_code = 0
+    for sweep_id in args.sweeps:
+        try:
+            sweep = get_sweep(sweep_id)
+            specs = sweep_specs(sweep_id, scale=args.scale, seed=args.seed)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            exit_code = 2
+            continue
+        print(f"{sweep_id}: {sweep.description}")
+        for spec in specs:
+            print(f"  spec {spec.spec_hash[:12]} name={spec.name or sweep_id}")
+            print(f"    target: {spec.target}")
+            print(f"    base: {spec.base}")
+            print(f"    axes: {spec.axes}")
+            print(
+                f"    seed: {spec.seed}  repetitions: {spec.repetitions}  "
+                f"strategy: {spec.seed_strategy}"
+            )
+            for point in spec.iter_points():
+                print(f"    point {point.describe()}")
+    return exit_code
+
+
+def _sweep_run(args: argparse.Namespace) -> int:
+    from repro.engine import ResultCache, SweepRunner, default_cache_root, run_sweep
+
+    cache = None
+    if not args.no_cache:
+        root = args.cache_dir if args.cache_dir is not None else default_cache_root()
+        cache = ResultCache(root)
+
+    def progress(done: int, total: int, outcome) -> None:
+        if args.quiet:
+            return
+        source = "cache" if outcome.cached else f"{outcome.duration_s:.2f}s"
+        print(
+            f"[{done}/{total}] {outcome.point.scenario_hash[:12]} {source}",
+            file=sys.stderr,
+        )
+
+    exit_code = 0
+    for sweep_id in args.sweeps:
+        runner = SweepRunner(workers=args.workers, cache=cache, progress=progress)
+        try:
+            result = run_sweep(sweep_id, scale=args.scale, seed=args.seed, runner=runner)
+        except KeyError as error:
+            print(f"error: {error}", file=sys.stderr)
+            exit_code = 2
+            continue
+        print(format_table(result))
+        print()
+    if cache is not None and not args.quiet:
+        print(f"cache: {cache.stats} at {cache.root}", file=sys.stderr)
+    return exit_code
+
+
+def _sweep_main(argv: List[str]) -> int:
+    args = build_sweep_parser().parse_args(argv)
+    if args.command == "list":
+        return _sweep_list()
+    if args.command == "show":
+        return _sweep_show(args)
+    return _sweep_run(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] == "sweep":
+        return _sweep_main(argv[1:])
+
     parser = build_parser()
     args = parser.parse_args(argv)
 

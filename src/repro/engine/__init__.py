@@ -1,0 +1,66 @@
+"""Scenario engine: declarative sweeps, sharded execution, result caching.
+
+The engine is the shared execution layer behind the paper's evaluation grid
+(topology family x size x routing x traffic x failures):
+
+- :mod:`repro.engine.spec` -- :class:`ScenarioSpec` describes a sweep
+  declaratively and expands it into content-hashed :class:`ScenarioPoint`\\ s.
+- :mod:`repro.engine.runner` -- :class:`SweepRunner` shards points across a
+  ``multiprocessing`` pool with per-point seeding, progress reporting and
+  deterministic result ordering.
+- :mod:`repro.engine.cache` -- :class:`ResultCache` stores each scenario's
+  value on disk under its content hash, so re-runs and overlapping sweeps
+  hit cache instead of re-solving LPs.
+- :mod:`repro.engine.registry` -- every experiment (fig01..fig14, table1)
+  registered as a sweep, runnable via :func:`run_sweep` or ``repro sweep``.
+
+See ``docs/engine.md`` for semantics and examples.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache, default_cache_root
+from repro.engine.runner import PointOutcome, SweepError, SweepRunner
+from repro.engine.spec import (
+    ScenarioPoint,
+    ScenarioSpec,
+    canonical_json,
+    content_hash,
+    derive_seed,
+    expand,
+    normalize,
+    resolve_target,
+)
+from repro.engine.registry import (
+    SweepDef,
+    get_sweep,
+    list_sweeps,
+    register_sweep,
+    run_specs,
+    run_sweep,
+    sweep_points,
+    sweep_specs,
+)
+
+__all__ = [
+    "CacheStats",
+    "PointOutcome",
+    "ResultCache",
+    "ScenarioPoint",
+    "ScenarioSpec",
+    "SweepDef",
+    "SweepError",
+    "SweepRunner",
+    "canonical_json",
+    "content_hash",
+    "default_cache_root",
+    "derive_seed",
+    "expand",
+    "get_sweep",
+    "list_sweeps",
+    "normalize",
+    "register_sweep",
+    "resolve_target",
+    "run_specs",
+    "run_sweep",
+    "sweep_points",
+    "sweep_specs",
+]

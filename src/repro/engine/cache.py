@@ -1,0 +1,134 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored one JSON file per scenario, named by the scenario's
+content hash (sha256 of its canonical-JSON key), fanned out over 256
+two-hex-digit subdirectories.  Because the key covers the target, all
+parameters, the seed and the repetition index, overlapping sweeps share
+entries automatically: re-running a sweep, or running a new sweep whose grid
+intersects an old one, serves the intersection from disk instead of
+re-solving LPs.
+
+Writes are atomic (temp file + ``os.replace``) so a killed run never leaves
+a truncated entry; unreadable or corrupt entries are treated as misses.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Optional, Tuple
+
+from repro.engine.spec import ScenarioPoint, canonical_json
+
+CACHE_FORMAT_VERSION = 1
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+def default_cache_root() -> Path:
+    """Cache directory: ``$REPRO_CACHE_DIR`` or ``~/.cache/jellyfish-repro``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path("~/.cache/jellyfish-repro").expanduser()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write counters for one :class:`ResultCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def as_dict(self) -> dict:
+        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+
+    def __str__(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON store for scenario results."""
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def path_for(self, scenario_hash: str) -> Path:
+        """File that does / would hold the entry for ``scenario_hash``."""
+        return self.root / scenario_hash[:2] / f"{scenario_hash}.json"
+
+    def fetch(self, point: ScenarioPoint) -> Tuple[bool, Any]:
+        """Look up ``point``; returns ``(hit, value)`` with ``value=None`` on miss."""
+        hit, value = self._read(point.scenario_hash)
+        if hit:
+            self.stats.hits += 1
+        else:
+            self.stats.misses += 1
+        return hit, value
+
+    def _read(self, scenario_hash: str) -> Tuple[bool, Any]:
+        path = self.path_for(scenario_hash)
+        try:
+            with open(path, "r", encoding="ascii") as handle:
+                envelope = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return False, None
+        if not isinstance(envelope, dict) or "value" not in envelope:
+            return False, None
+        if envelope.get("version") != CACHE_FORMAT_VERSION:
+            # Entries written by an incompatible engine version are misses;
+            # bump CACHE_FORMAT_VERSION whenever result semantics change.
+            return False, None
+        return True, envelope["value"]
+
+    def store(self, point: ScenarioPoint, value: Any) -> None:
+        """Atomically persist ``value`` for ``point``."""
+        path = self.path_for(point.scenario_hash)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "version": CACHE_FORMAT_VERSION,
+            "scenario": point.key(),
+            "value": value,
+        }
+        payload = canonical_json(envelope)
+        descriptor, temp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+                handle.write(payload)
+            os.replace(temp_name, path)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+    def __contains__(self, point: ScenarioPoint) -> bool:
+        return self._read(point.scenario_hash)[0]
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.root.glob("??/*.json"))
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        removed = 0
+        for entry in self.root.glob("??/*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,155 @@
+"""Sharded sweep execution with caching and deterministic ordering.
+
+:class:`SweepRunner` executes a list of :class:`~repro.engine.spec.ScenarioPoint`
+in three passes:
+
+1. **Cache pass** -- every point is looked up in the (optional) result cache;
+   hits are materialized immediately.
+2. **Deduplication** -- remaining points with identical scenario hashes are
+   collapsed so each distinct scenario executes exactly once, however many
+   sweeps reference it.
+3. **Execution** -- distinct scenarios run serially in-process
+   (``workers <= 1``) or sharded across a ``multiprocessing`` pool
+   (``workers > 1``).  Each point carries its own seed, so execution order
+   never affects results.
+
+Whatever the execution mode, the returned outcomes are in the input order,
+so assembling a figure from sweep values is a plain ``zip`` with the grid.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import ResultCache
+from repro.engine.spec import ScenarioPoint
+
+#: ``progress(done, total, outcome)`` called after every completed point.
+ProgressCallback = Callable[[int, int, "PointOutcome"], None]
+
+
+class SweepError(RuntimeError):
+    """A scenario point failed to execute."""
+
+
+@dataclass
+class PointOutcome:
+    """Result of one scenario point.
+
+    ``cached`` is true when the value came from the on-disk cache or from
+    another identical point executed earlier in the same sweep.
+    """
+
+    point: ScenarioPoint
+    value: Any
+    cached: bool
+    duration_s: float
+
+
+def _execute_indexed(item: Tuple[int, ScenarioPoint]) -> Tuple[int, Any, float]:
+    """Pool worker: run one point, reporting its input index and duration."""
+    index, point = item
+    start = time.perf_counter()
+    try:
+        value = point.execute()
+    except Exception as error:
+        raise SweepError(
+            f"scenario {point.scenario_hash[:12]} ({point.target}) failed: {error}"
+        ) from error
+    return index, value, time.perf_counter() - start
+
+
+class SweepRunner:
+    """Run scenario points, optionally in parallel and against a result cache.
+
+    Parameters
+    ----------
+    workers:
+        ``0`` or ``1`` runs everything serially in-process (no pool overhead;
+        the default, and what experiment ``run()`` wrappers use).  ``n > 1``
+        shards distinct scenarios across ``n`` worker processes.
+    cache:
+        A :class:`~repro.engine.cache.ResultCache`, or ``None`` to disable
+        caching entirely.
+    progress:
+        Optional callback invoked after every completed point.
+    """
+
+    def __init__(
+        self,
+        workers: int = 0,
+        cache: Optional[ResultCache] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> None:
+        if workers < 0:
+            raise ValueError("workers must be non-negative")
+        self.workers = workers
+        self.cache = cache
+        self.progress = progress
+
+    def run(self, points: Sequence[ScenarioPoint]) -> List[PointOutcome]:
+        """Execute ``points`` and return outcomes in input order."""
+        points = list(points)
+        total = len(points)
+        outcomes: List[Optional[PointOutcome]] = [None] * total
+        completed = 0
+
+        def finish(index: int, outcome: PointOutcome) -> None:
+            nonlocal completed
+            outcomes[index] = outcome
+            completed += 1
+            if self.progress is not None:
+                self.progress(completed, total, outcome)
+
+        # Pass 1: cache lookups.
+        pending: List[Tuple[int, ScenarioPoint]] = []
+        for index, point in enumerate(points):
+            if self.cache is not None:
+                hit, value = self.cache.fetch(point)
+                if hit:
+                    finish(index, PointOutcome(point, value, cached=True, duration_s=0.0))
+                    continue
+            pending.append((index, point))
+
+        # Pass 2: collapse identical scenarios so each executes once.
+        primaries: Dict[str, Tuple[int, ScenarioPoint]] = {}
+        followers: Dict[str, List[int]] = {}
+        for index, point in pending:
+            scenario_hash = point.scenario_hash
+            if scenario_hash in primaries:
+                followers.setdefault(scenario_hash, []).append(index)
+            else:
+                primaries[scenario_hash] = (index, point)
+        work = list(primaries.values())
+
+        # Pass 3: execute distinct scenarios, serially or in a pool.
+        def record(index: int, value: Any, duration: float) -> None:
+            point = points[index]
+            if self.cache is not None:
+                self.cache.store(point, value)
+            finish(index, PointOutcome(point, value, cached=False, duration_s=duration))
+            for follower_index in followers.get(point.scenario_hash, ()):
+                finish(
+                    follower_index,
+                    PointOutcome(points[follower_index], value, cached=True, duration_s=0.0),
+                )
+
+        if self.workers > 1 and len(work) > 1:
+            context = multiprocessing.get_context()
+            with context.Pool(processes=self.workers) as pool:
+                for index, value, duration in pool.imap_unordered(_execute_indexed, work):
+                    record(index, value, duration)
+        else:
+            for item in work:
+                index, value, duration = _execute_indexed(item)
+                record(index, value, duration)
+
+        assert all(outcome is not None for outcome in outcomes)
+        return outcomes  # type: ignore[return-value]
+
+    def run_values(self, points: Sequence[ScenarioPoint]) -> List[Any]:
+        """Like :meth:`run` but returning only the values, in input order."""
+        return [outcome.value for outcome in self.run(points)]

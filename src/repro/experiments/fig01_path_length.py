@@ -4,10 +4,20 @@ The paper plots the fraction of server pairs reachable within each hop count
 for a 686-server Jellyfish and the same-equipment fat-tree (k = 14).  The
 headline observation: >99.5% of Jellyfish server pairs are within fewer than
 6 hops versus only 7.5% for the fat-tree.
+
+The whole comparison is one scenario point (both CDFs share one rng stream),
+declared through the scenario engine so ``repro sweep run fig01`` caches and
+re-serves it by content hash.  The CDFs themselves ride the memoized
+all-pairs BFS in :mod:`repro.graphs.properties`.
 """
 
 from __future__ import annotations
 
+from typing import Any, List
+
+from repro.engine.registry import run_specs
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import ScenarioSpec
 from repro.experiments.common import ExperimentResult
 from repro.topologies.fattree import FatTreeTopology
 from repro.topologies.jellyfish import JellyfishTopology
@@ -15,14 +25,16 @@ from repro.utils.rng import ensure_rng
 
 _SCALES = {"small": 8, "paper": 14}
 
+_TARGET = "repro.experiments.fig01_path_length:compute_cdfs"
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Path-length CDFs for a fat-tree and a same-equipment Jellyfish."""
-    if scale not in _SCALES:
-        raise ValueError(f"unknown scale {scale!r}")
-    k = _SCALES[scale]
+
+def compute_cdfs(k: int, seed: int = 0) -> dict:
+    """Scenario target: server path-length CDFs for both topologies.
+
+    CDFs are returned as ``[hop, fraction]`` pair lists so the value is
+    JSON-stable (cache round-trips bit-identically).
+    """
     rng = ensure_rng(seed)
-
     fattree = FatTreeTopology.build(k)
     jellyfish = JellyfishTopology.from_equipment(
         num_switches=fattree.num_switches,
@@ -30,16 +42,31 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         num_servers=fattree.num_servers,
         rng=rng,
     )
+    return {
+        "k": k,
+        "num_servers": fattree.num_servers,
+        "fattree": sorted(fattree.server_path_length_cdf().items()),
+        "jellyfish": sorted(jellyfish.server_path_length_cdf().items()),
+    }
 
-    fat_cdf = fattree.server_path_length_cdf()
-    jelly_cdf = jellyfish.server_path_length_cdf()
+
+def build_specs(scale: str = "small", seed: int = 0) -> List[ScenarioSpec]:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    return [ScenarioSpec.grid(_TARGET, name="fig01", seed=seed, k=_SCALES[scale])]
+
+
+def assemble(values: List[Any], scale: str, seed: int) -> ExperimentResult:
+    value = values[0]
+    fat_cdf = {int(hop): fraction for hop, fraction in value["fattree"]}
+    jelly_cdf = {int(hop): fraction for hop, fraction in value["jellyfish"]}
     hops = sorted(set(fat_cdf) | set(jelly_cdf))
 
     result = ExperimentResult(
         experiment_id="fig01",
         title=(
             f"Path length CDF between servers: Jellyfish vs fat-tree "
-            f"(k={k}, {fattree.num_servers} servers each)"
+            f"(k={value['k']}, {value['num_servers']} servers each)"
         ),
         columns=["path_length", "jellyfish_fraction", "fattree_fraction"],
         notes="cumulative fraction of server pairs reachable within the hop count",
@@ -55,3 +82,8 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
     for hop in hops:
         result.add_row(hop, cumulative(jelly_cdf, hop), cumulative(fat_cdf, hop))
     return result
+
+
+def run(scale: str = "small", seed: int = 0, runner: SweepRunner = None) -> ExperimentResult:
+    """Path-length CDFs for a fat-tree and a same-equipment Jellyfish."""
+    return run_specs(build_specs(scale, seed), assemble, scale, seed, runner)

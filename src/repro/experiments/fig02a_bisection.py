@@ -6,12 +6,21 @@ per switch for the random interconnect.  The Bollobás lower bound gives the
 bisection bandwidth of the resulting RRG, normalized by the server bandwidth
 in one partition.  The fat-tree built from the same equipment appears as a
 single point: k^3/4 servers at normalized bisection 1.0.
+
+Every curve point is a pure function of ``(num_switches, ports, servers)``,
+so the figure is declared as a scenario grid (one spec per equipment config,
+one axis over server counts) and each point is independently cacheable and
+shardable across workers.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any, List
 
+from repro.engine.registry import run_specs
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import ScenarioSpec
 from repro.experiments.common import ExperimentResult
 from repro.graphs.bisection import bollobas_bisection_lower_bound
 from repro.topologies.fattree import fattree_num_servers
@@ -21,23 +30,42 @@ _SCALES = {
     "paper": [(720, 24), (1280, 32), (2880, 48)],
 }
 
+_STEPS = 12
 
-def jellyfish_curve_point(num_switches: int, ports: int, num_servers: int) -> float:
-    """Normalized bisection bandwidth of RRG equipment hosting ``num_servers``."""
-    servers_per_switch = num_servers / num_switches
+_TARGET = "repro.experiments.fig02a_bisection:jellyfish_curve_point"
+
+
+def jellyfish_curve_point(num_switches: int, ports: int, servers: int) -> float:
+    """Normalized bisection bandwidth of RRG equipment hosting ``servers``."""
+    servers_per_switch = servers / num_switches
     network_degree = ports - math.ceil(servers_per_switch)
     if network_degree <= 0:
         return 0.0
     bound = bollobas_bisection_lower_bound(num_switches, network_degree)
-    return bound / (num_servers / 2.0)
+    return bound / (servers / 2.0)
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    """Equal-cost curves of normalized bisection bandwidth vs servers."""
+def _server_axis(num_switches: int, ports: int) -> List[int]:
+    max_servers = num_switches * (ports - 1)
+    return [int(round(step * max_servers / _STEPS)) for step in range(1, _STEPS + 1)]
+
+
+def build_specs(scale: str = "small", seed: int = 0) -> List[ScenarioSpec]:
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r}")
-    configs = _SCALES[scale]
+    return [
+        ScenarioSpec.grid(
+            _TARGET,
+            name=f"fig02a-{num_switches}x{ports}",
+            num_switches=num_switches,
+            ports=ports,
+            servers=_server_axis(num_switches, ports),
+        )
+        for num_switches, ports in _SCALES[scale]
+    ]
 
+
+def assemble(values: List[Any], scale: str, seed: int) -> ExperimentResult:
     result = ExperimentResult(
         experiment_id="fig02a",
         title="Normalized bisection bandwidth vs servers (equal equipment)",
@@ -50,12 +78,14 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
         ],
         notes="fat-tree reference point has normalized bisection 1.0 by construction",
     )
-    for num_switches, ports in configs:
+    iterator = iter(values)
+    for num_switches, ports in _SCALES[scale]:
         fattree_servers = fattree_num_servers(ports)
-        max_servers = num_switches * (ports - 1)
-        steps = 12
-        for step in range(1, steps + 1):
-            servers = int(round(step * max_servers / steps))
-            value = jellyfish_curve_point(num_switches, ports, servers)
-            result.add_row(num_switches, ports, servers, value, fattree_servers)
+        for servers in _server_axis(num_switches, ports):
+            result.add_row(num_switches, ports, servers, next(iterator), fattree_servers)
     return result
+
+
+def run(scale: str = "small", seed: int = 0, runner: SweepRunner = None) -> ExperimentResult:
+    """Equal-cost curves of normalized bisection bandwidth vs servers."""
+    return run_specs(build_specs(scale, seed), assemble, scale, seed, runner)

@@ -5,12 +5,20 @@ purchased to support a given number of servers at full bisection bandwidth.
 The fat-tree admits only one design point per port count (k^3/4 servers on
 5k^3/4 ports); Jellyfish fills in the whole curve and needs fewer ports for
 the same servers, with the advantage growing with the port count.
+
+The Jellyfish curve point is a pure function of ``(ports, num_servers)``, so
+the figure is a single scenario grid over both axes; each cell caches and
+shards independently through the engine.
 """
 
 from __future__ import annotations
 
 import math
+from typing import Any, List
 
+from repro.engine.registry import run_specs
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import ScenarioSpec
 from repro.experiments.common import ExperimentResult
 from repro.graphs.bisection import bollobas_bisection_lower_bound
 from repro.topologies.fattree import fattree_num_servers, fattree_num_switches
@@ -22,6 +30,8 @@ _SCALES = {
         "server_targets": [10000, 20000, 30000, 40000, 50000, 60000, 70000, 80000],
     },
 }
+
+_TARGET = "repro.experiments.fig02b_equipment_cost:jellyfish_min_ports_for_full_bisection"
 
 
 def jellyfish_min_ports_for_full_bisection(ports: int, num_servers: int) -> int:
@@ -63,11 +73,22 @@ def jellyfish_min_ports_for_full_bisection(ports: int, num_servers: int) -> int:
     return low * ports
 
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+def build_specs(scale: str = "small", seed: int = 0) -> List[ScenarioSpec]:
     if scale not in _SCALES:
         raise ValueError(f"unknown scale {scale!r}")
     config = _SCALES[scale]
+    return [
+        ScenarioSpec.grid(
+            _TARGET,
+            name="fig02b",
+            ports=list(config["ports"]),
+            num_servers=list(config["server_targets"]),
+        )
+    ]
 
+
+def assemble(values: List[Any], scale: str, seed: int) -> ExperimentResult:
+    config = _SCALES[scale]
     result = ExperimentResult(
         experiment_id="fig02b",
         title="Equipment cost (total ports) vs servers at full bisection bandwidth",
@@ -79,12 +100,16 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
             "fattree_total_ports",
         ],
     )
+    iterator = iter(values)
     for ports in config["ports"]:
         fattree_servers = fattree_num_servers(ports)
         fattree_ports = fattree_num_switches(ports) * ports
         for servers in config["server_targets"]:
-            jellyfish_ports = jellyfish_min_ports_for_full_bisection(ports, servers)
             result.add_row(
-                ports, servers, jellyfish_ports, fattree_servers, fattree_ports
+                ports, servers, next(iterator), fattree_servers, fattree_ports
             )
     return result
+
+
+def run(scale: str = "small", seed: int = 0, runner: SweepRunner = None) -> ExperimentResult:
+    return run_specs(build_specs(scale, seed), assemble, scale, seed, runner)

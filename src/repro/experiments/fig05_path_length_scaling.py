@@ -5,10 +5,21 @@ and grows the network from 100 to 3,200 switches, showing (a) the mean
 switch-to-switch path length stays below ~2.7 and the diameter at most 4,
 and (b) topologies grown incrementally from a small seed match topologies
 built from scratch.
+
+The incremental growth makes the sizes a single sequential scenario (each
+stage expands the previous topology with the same rng stream), so the whole
+figure is one engine scenario point rather than a per-size grid.  The
+mean-path-length and diameter queries at each size share one memoized
+all-pairs BFS sweep (:func:`repro.graphs.properties.all_pairs_hop_distances`).
 """
 
 from __future__ import annotations
 
+from typing import Any, List
+
+from repro.engine.registry import run_specs
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import ScenarioSpec
 from repro.experiments.common import ExperimentResult
 from repro.graphs.properties import average_path_length, diameter
 from repro.topologies.jellyfish import JellyfishTopology
@@ -27,36 +38,25 @@ _SCALES = {
     },
 }
 
+_TARGET = "repro.experiments.fig05_path_length_scaling:compute_scaling"
 
-def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
-    if scale not in _SCALES:
-        raise ValueError(f"unknown scale {scale!r}")
-    config = _SCALES[scale]
+
+def compute_scaling(
+    ports: int, network_degree: int, switch_counts: List[int], seed: int = 0
+) -> dict:
+    """Scenario target: path metrics at every size, scratch vs grown."""
     rng = ensure_rng(seed)
-    ports = config["ports"]
-    degree = config["network_degree"]
-    servers_per_switch = ports - degree
-    counts = config["switch_counts"]
+    servers_per_switch = ports - network_degree
+    counts = list(switch_counts)
 
-    result = ExperimentResult(
-        experiment_id="fig05",
-        title=f"Path length vs servers (k={ports}, r={degree}): from scratch vs expanded",
-        columns=[
-            "num_servers",
-            "scratch_mean_path",
-            "scratch_diameter",
-            "expanded_mean_path",
-            "expanded_diameter",
-        ],
-    )
-
+    rows = []
     # Incrementally grown topology starting from the smallest size.
     grown = JellyfishTopology.build(
-        counts[0], ports, degree, rng=rng, servers_per_switch=servers_per_switch
+        counts[0], ports, network_degree, rng=rng, servers_per_switch=servers_per_switch
     )
     for index, count in enumerate(counts):
         scratch = JellyfishTopology.build(
-            count, ports, degree, rng=rng, servers_per_switch=servers_per_switch
+            count, ports, network_degree, rng=rng, servers_per_switch=servers_per_switch
         )
         if index > 0:
             grown.expand(
@@ -66,11 +66,56 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                 rng=rng,
                 prefix=f"stage{index}",
             )
-        result.add_row(
-            count * servers_per_switch,
-            average_path_length(scratch.graph),
-            diameter(scratch.graph),
-            average_path_length(grown.graph),
-            diameter(grown.graph),
+        rows.append(
+            [
+                count * servers_per_switch,
+                average_path_length(scratch.graph),
+                diameter(scratch.graph),
+                average_path_length(grown.graph),
+                diameter(grown.graph),
+            ]
         )
+    return {"rows": rows}
+
+
+def build_specs(scale: str = "small", seed: int = 0) -> List[ScenarioSpec]:
+    if scale not in _SCALES:
+        raise ValueError(f"unknown scale {scale!r}")
+    config = _SCALES[scale]
+    return [
+        ScenarioSpec(
+            target=_TARGET,
+            base={
+                "ports": config["ports"],
+                "network_degree": config["network_degree"],
+                "switch_counts": list(config["switch_counts"]),
+            },
+            seed=seed,
+            name="fig05",
+        )
+    ]
+
+
+def assemble(values: List[Any], scale: str, seed: int) -> ExperimentResult:
+    config = _SCALES[scale]
+    result = ExperimentResult(
+        experiment_id="fig05",
+        title=(
+            f"Path length vs servers (k={config['ports']}, "
+            f"r={config['network_degree']}): from scratch vs expanded"
+        ),
+        columns=[
+            "num_servers",
+            "scratch_mean_path",
+            "scratch_diameter",
+            "expanded_mean_path",
+            "expanded_diameter",
+        ],
+    )
+    for row in values[0]["rows"]:
+        result.add_row(*row)
     return result
+
+
+def run(scale: str = "small", seed: int = 0, runner: SweepRunner = None) -> ExperimentResult:
+    return run_specs(build_specs(scale, seed), assemble, scale, seed, runner)

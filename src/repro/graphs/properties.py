@@ -8,6 +8,7 @@ enough for the scales the paper simulates.
 
 from __future__ import annotations
 
+import weakref
 from collections import Counter, deque
 from typing import Dict, Iterable, Optional
 
@@ -34,6 +35,59 @@ def bfs_distances(graph: nx.Graph, source) -> Dict:
     return distances
 
 
+#: Per-source BFS results are memoized only for graphs at most this large;
+#: beyond it the all-pairs table would dominate memory (paper-scale fig05
+#: builds 3200-switch graphs) and distances are recomputed transiently.
+ALL_PAIRS_MEMO_NODE_LIMIT = 1500
+
+# graph -> {"signature": (num_nodes, frozenset of edges), "distances": {src: {dst: hops}}}
+_distance_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+
+
+def _edges_signature(graph: nx.Graph):
+    """Exact structural fingerprint: stale entries are detected even when a
+    mutation (e.g. failure injection then repair) preserves the edge count."""
+    return (graph.number_of_nodes(), frozenset(frozenset(edge) for edge in graph.edges()))
+
+
+def clear_distance_memo() -> None:
+    """Drop every memoized BFS result (mainly useful in tests)."""
+    _distance_memo.clear()
+
+
+def all_pairs_hop_distances(
+    graph: nx.Graph,
+    sources: Optional[Iterable] = None,
+    memo_limit: int = ALL_PAIRS_MEMO_NODE_LIMIT,
+) -> Dict:
+    """Hop distances from each of ``sources`` (default: all nodes) to every
+    reachable node, as ``{source: {node: hops}}``.
+
+    Results are memoized per graph (weakly referenced) so the BFS sweep runs
+    once per graph structure and is shared by :func:`average_path_length`,
+    :func:`diameter` and :func:`path_length_cdf`.  The memo is invalidated
+    whenever the graph's node/edge set changes, and is skipped entirely for
+    graphs larger than ``memo_limit`` nodes.  Callers must treat the returned
+    distance dicts as read-only.
+    """
+    wanted = list(graph.nodes) if sources is None else list(sources)
+    distances: Dict = {}
+    if graph.number_of_nodes() <= memo_limit:
+        try:
+            entry = _distance_memo.get(graph)
+            signature = _edges_signature(graph)
+            if entry is None or entry["signature"] != signature:
+                entry = {"signature": signature, "distances": {}}
+                _distance_memo[graph] = entry
+            distances = entry["distances"]
+        except TypeError:  # graph type does not support weak references
+            distances = {}
+    for source in wanted:
+        if source not in distances:
+            distances[source] = bfs_distances(graph, source)
+    return {source: distances[source] for source in wanted}
+
+
 def path_length_distribution(
     graph: nx.Graph, nodes: Optional[Iterable] = None
 ) -> Counter:
@@ -44,12 +98,12 @@ def path_length_distribution(
     ignored.  Each unordered pair is counted once.
     """
     targets = set(graph.nodes) if nodes is None else set(nodes)
+    distances = all_pairs_hop_distances(graph, targets)
     histogram: Counter = Counter()
     seen = set()
     for source in targets:
         seen.add(source)
-        distances = bfs_distances(graph, source)
-        for destination, hops in distances.items():
+        for destination, hops in distances[source].items():
             if destination in seen or destination not in targets:
                 continue
             histogram[hops] += 1

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import build_parser, main
+from repro.cli import build_parser, build_sweep_parser, main
 
 
 class TestParser:
@@ -35,3 +35,63 @@ class TestMain:
     def test_no_arguments_errors(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSweepParser:
+    def test_run_defaults(self):
+        args = build_sweep_parser().parse_args(["run", "fig01"])
+        assert args.sweeps == ["fig01"]
+        assert args.scale == "small"
+        assert args.seed == 0
+        assert args.workers == 0
+        assert not args.no_cache
+
+    def test_seed_is_plumbed_through_every_subcommand(self):
+        parser = build_sweep_parser()
+        assert parser.parse_args(["run", "fig01", "--seed", "9"]).seed == 9
+        assert parser.parse_args(["show", "fig01", "--seed", "9"]).seed == 9
+
+    def test_missing_subcommand_errors(self):
+        with pytest.raises(SystemExit):
+            build_sweep_parser().parse_args([])
+
+
+class TestSweepMain:
+    def test_sweep_list(self, capsys):
+        assert main(["sweep", "list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig01" in out and "table1" in out
+        assert "point(s)" in out
+
+    def test_sweep_show(self, capsys):
+        assert main(["sweep", "show", "fig02a"]) == 0
+        out = capsys.readouterr().out
+        assert "jellyfish_curve_point" in out
+        assert "point " in out
+
+    def test_sweep_run_with_cache(self, capsys, tmp_path):
+        argv = ["sweep", "run", "fig02a", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "jellyfish_normalized_bisection" in first
+        # Second invocation is served from cache and prints the same table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+        assert list(tmp_path.glob("??/*.json"))
+
+    def test_sweep_run_no_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep", "run", "fig01",
+            "--no-cache", "--quiet", "--seed", "1",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(argv) == 0
+        assert "fig01" in capsys.readouterr().out
+        assert not list(tmp_path.glob("??/*.json"))
+
+    def test_sweep_run_unknown_sweep(self, capsys, tmp_path):
+        argv = ["sweep", "run", "fig99", "--cache-dir", str(tmp_path), "--quiet"]
+        assert main(argv) == 2
+
+    def test_sweep_show_unknown_sweep(self, capsys):
+        assert main(["sweep", "show", "fig99"]) == 2

@@ -1,0 +1,105 @@
+"""Tests for the content-addressed result cache (repro.engine.cache)."""
+
+import json
+
+from repro.engine.cache import CACHE_DIR_ENV, ResultCache, default_cache_root
+from repro.engine.spec import ScenarioPoint
+
+TARGET = "repro.experiments.fig02a_bisection:jellyfish_curve_point"
+
+
+def _point(servers=720, seed=None):
+    return ScenarioPoint(
+        TARGET, {"num_switches": 720, "ports": 24, "servers": servers}, seed=seed
+    )
+
+
+class TestResultCache:
+    def test_miss_then_hit_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        hit, value = cache.fetch(point)
+        assert not hit and value is None
+        cache.store(point, {"answer": 0.5})
+        hit, value = cache.fetch(point)
+        assert hit and value == {"answer": 0.5}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.writes == 1
+
+    def test_entries_are_content_addressed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        path = cache.path_for(point.scenario_hash)
+        assert path.exists()
+        assert path.parent.name == point.scenario_hash[:2]
+        envelope = json.loads(path.read_text())
+        assert envelope["scenario"]["target"] == TARGET
+        assert envelope["value"] == 1.0
+
+    def test_distinct_scenarios_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(_point(servers=100), "a")
+        cache.store(_point(servers=200), "b")
+        assert cache.fetch(_point(servers=100))[1] == "a"
+        assert cache.fetch(_point(servers=200))[1] == "b"
+        assert len(cache) == 2
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        cache.path_for(point.scenario_hash).write_text("{ not json")
+        hit, value = cache.fetch(point)
+        assert not hit and value is None
+
+    def test_incompatible_format_version_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        path = cache.path_for(point.scenario_hash)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 999
+        path.write_text(json.dumps(envelope))
+        assert not cache.fetch(point)[0]
+
+    def test_envelope_without_value_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        cache.path_for(point.scenario_hash).write_text('{"version": 1}')
+        assert not cache.fetch(point)[0]
+
+    def test_contains_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        assert point not in cache
+        cache.store(point, 1.0)
+        assert point in cache
+        assert cache.clear() == 1
+        assert point not in cache
+        assert len(cache) == 0
+
+    def test_shared_root_shares_entries(self, tmp_path):
+        writer = ResultCache(tmp_path)
+        writer.store(_point(), 2.5)
+        reader = ResultCache(tmp_path)
+        hit, value = reader.fetch(_point())
+        assert hit and value == 2.5
+
+    def test_no_stray_temp_files_after_store(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(_point(), 1.0)
+        assert not list(tmp_path.glob("**/.tmp-*"))
+
+
+class TestDefaultCacheRoot:
+    def test_env_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path / "override"))
+        assert default_cache_root() == tmp_path / "override"
+
+    def test_default_is_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        root = default_cache_root()
+        assert root.name == "jellyfish-repro"

@@ -1,0 +1,199 @@
+"""Tests for declarative scenario specs (repro.engine.spec)."""
+
+import math
+import pickle
+
+import pytest
+
+from repro.engine.spec import (
+    ScenarioPoint,
+    ScenarioSpec,
+    canonical_json,
+    content_hash,
+    derive_seed,
+    expand,
+    normalize,
+    resolve_target,
+)
+
+TARGET = "repro.experiments.fig02a_bisection:jellyfish_curve_point"
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"b": 1, "a": 2}) == canonical_json({"a": 2, "b": 1})
+
+    def test_tuples_serialize_as_lists(self):
+        assert canonical_json((1, 2)) == canonical_json([1, 2])
+
+    def test_non_serializable_raises(self):
+        with pytest.raises(TypeError):
+            canonical_json({"x": object()})
+
+    def test_nan_raises(self):
+        with pytest.raises(ValueError):
+            canonical_json({"x": math.nan})
+
+    def test_normalize_round_trips_floats_exactly(self):
+        value = {"x": 0.1 + 0.2, "y": [1, (2, 3)]}
+        assert normalize(value) == {"x": 0.1 + 0.2, "y": [1, [2, 3]]}
+
+
+class TestContentHash:
+    def test_stable_across_processes_style_inputs(self):
+        assert content_hash({"a": 1}) == content_hash({"a": 1})
+        assert len(content_hash({"a": 1})) == 64
+
+    def test_sensitive_to_values(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestDeriveSeed:
+    def test_deterministic_and_in_range(self):
+        seed = derive_seed(7, {"n": 10}, 3)
+        assert seed == derive_seed(7, {"n": 10}, 3)
+        assert 0 <= seed < 2**63
+
+    def test_varies_with_every_input(self):
+        base = derive_seed(7, {"n": 10}, 0)
+        assert base != derive_seed(8, {"n": 10}, 0)
+        assert base != derive_seed(7, {"n": 11}, 0)
+        assert base != derive_seed(7, {"n": 10}, 1)
+
+    def test_none_stays_none(self):
+        assert derive_seed(None, {"n": 10}, 5) is None
+
+
+class TestScenarioPoint:
+    def test_hash_covers_target_params_seed_repetition(self):
+        point = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 100})
+        assert point.scenario_hash != ScenarioPoint(
+            TARGET, {"num_switches": 720, "ports": 24, "servers": 200}
+        ).scenario_hash
+        assert point.scenario_hash != ScenarioPoint(
+            TARGET, point.params, seed=1
+        ).scenario_hash
+        assert point.scenario_hash != ScenarioPoint(
+            TARGET, point.params, repetition=1
+        ).scenario_hash
+
+    def test_execute_resolves_and_normalizes(self):
+        point = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 720})
+        value = point.execute()
+        assert isinstance(value, float) and value > 0
+
+    def test_seed_not_passed_when_none(self):
+        # jellyfish_curve_point takes no seed parameter; a None seed must not
+        # be forwarded to it.
+        point = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 720})
+        point.execute()
+
+    def test_points_are_hashable_via_content_address(self):
+        point = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 720})
+        same = ScenarioPoint(TARGET, dict(point.params))
+        other = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 100})
+        assert hash(point) == hash(same)
+        assert {point, same, other} == {point, other}
+        spec = ScenarioSpec.grid(TARGET, a=[1, 2])
+        assert hash(spec) == hash(ScenarioSpec.grid(TARGET, a=[1, 2]))
+
+    def test_points_pickle(self):
+        point = ScenarioPoint(TARGET, {"num_switches": 720, "ports": 24, "servers": 720})
+        _ = point.scenario_hash  # populate the cached property first
+        clone = pickle.loads(pickle.dumps(point))
+        assert clone == point
+        assert clone.scenario_hash == point.scenario_hash
+
+
+class TestResolveTarget:
+    def test_resolves_dotted_path(self):
+        fn = resolve_target(TARGET)
+        assert callable(fn)
+
+    def test_rejects_malformed(self):
+        with pytest.raises(ValueError):
+            resolve_target("no-colon-here")
+
+    def test_rejects_missing_attribute(self):
+        with pytest.raises(ValueError):
+            resolve_target("repro.engine.spec:not_a_thing")
+
+
+class TestGridExpansion:
+    def test_lists_become_axes_and_scalars_base(self):
+        spec = ScenarioSpec.grid(TARGET, num_switches=720, ports=[24, 32], servers=[10, 20])
+        assert spec.base == {"num_switches": 720}
+        assert spec.axes == {"ports": [24, 32], "servers": [10, 20]}
+        assert len(spec) == 4
+
+    def test_cartesian_product_order(self):
+        spec = ScenarioSpec.grid(TARGET, a=[1, 2], b=[10, 20])
+        combos = [(p.params["a"], p.params["b"]) for p in spec.points()]
+        assert combos == [(1, 10), (1, 20), (2, 10), (2, 20)]
+
+    def test_no_axes_is_single_point(self):
+        spec = ScenarioSpec.grid(TARGET, num_switches=720, ports=24, servers=720)
+        points = spec.points()
+        assert len(points) == 1
+        assert points[0].params == {"num_switches": 720, "ports": 24, "servers": 720}
+
+    def test_literal_list_parameter_via_constructor(self):
+        spec = ScenarioSpec(target=TARGET, base={"switch_counts": [20, 40]})
+        points = spec.points()
+        assert len(points) == 1
+        assert points[0].params["switch_counts"] == [20, 40]
+
+    def test_seed_cannot_be_a_scenario_parameter(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(target=TARGET, base={"seed": 1})
+        with pytest.raises(ValueError):
+            ScenarioSpec(target=TARGET, axes={"seed": [1, 2]})
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(target=TARGET, axes={"a": []})
+
+    def test_base_axis_overlap_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec(target=TARGET, base={"a": 1}, axes={"a": [1, 2]})
+
+    def test_expand_concatenates_in_order(self):
+        first = ScenarioSpec.grid(TARGET, a=[1, 2])
+        second = ScenarioSpec.grid(TARGET, a=[3])
+        assert [p.params["a"] for p in expand([first, second])] == [1, 2, 3]
+
+
+class TestSeedStrategies:
+    def test_single_repetition_shares_seed(self):
+        spec = ScenarioSpec.grid(TARGET, seed=42, a=[1, 2])
+        assert [p.seed for p in spec.points()] == [42, 42]
+
+    def test_repetitions_derive_distinct_seeds(self):
+        spec = ScenarioSpec.grid(TARGET, seed=42, repetitions=3, a=[1, 2])
+        points = spec.points()
+        assert len(points) == 6
+        seeds = [p.seed for p in points]
+        assert len(set(seeds)) == 6
+        assert [p.repetition for p in points[:3]] == [0, 1, 2]
+        # Deterministic: expanding again yields the same seeds.
+        assert seeds == [p.seed for p in spec.points()]
+
+    def test_derived_seeds_stable_under_axis_growth(self):
+        small = ScenarioSpec.grid(TARGET, seed=42, repetitions=2, a=[1])
+        large = ScenarioSpec.grid(TARGET, seed=42, repetitions=2, a=[1, 2])
+        assert [p.seed for p in small.points()] == [p.seed for p in large.points()[:2]]
+
+    def test_explicit_shared_strategy_with_repetitions(self):
+        spec = ScenarioSpec.grid(
+            TARGET, seed=42, repetitions=2, seed_strategy="shared", a=[1]
+        )
+        assert [p.seed for p in spec.points()] == [42, 42]
+
+    def test_invalid_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioSpec.grid(TARGET, seed_strategy="bogus")
+
+    def test_spec_hash_changes_with_seed(self):
+        one = ScenarioSpec.grid(TARGET, seed=1, a=[1])
+        two = ScenarioSpec.grid(TARGET, seed=2, a=[1])
+        assert one.spec_hash != two.spec_hash

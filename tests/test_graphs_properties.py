@@ -3,9 +3,12 @@
 import networkx as nx
 import pytest
 
+import repro.graphs.properties as properties
 from repro.graphs.properties import (
+    all_pairs_hop_distances,
     average_path_length,
     bfs_distances,
+    clear_distance_memo,
     degree_histogram,
     diameter,
     is_connected,
@@ -75,6 +78,72 @@ class TestPathLengthCdf:
         values = [cdf[h] for h in sorted(cdf)]
         assert values == sorted(values)
         assert values[-1] == pytest.approx(1.0)
+
+
+class TestAllPairsMemoization:
+    """BFS sweeps run once per graph and are shared across metric queries."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_memo(self):
+        clear_distance_memo()
+        yield
+        clear_distance_memo()
+
+    @pytest.fixture()
+    def bfs_counter(self, monkeypatch):
+        calls = []
+        original = properties.bfs_distances
+
+        def counting(graph, source):
+            calls.append(source)
+            return original(graph, source)
+
+        monkeypatch.setattr(properties, "bfs_distances", counting)
+        return calls
+
+    def test_distances_match_uncached_bfs(self):
+        graph = nx.random_regular_graph(3, 20, seed=5)
+        table = all_pairs_hop_distances(graph)
+        for source in graph.nodes:
+            assert table[source] == bfs_distances(graph, source)
+
+    def test_metric_queries_share_one_sweep(self, bfs_counter):
+        graph = nx.random_regular_graph(3, 20, seed=6)
+        average_path_length(graph)
+        assert len(bfs_counter) == 20
+        diameter(graph)
+        path_length_cdf(graph)
+        assert len(bfs_counter) == 20  # no additional BFS for the later queries
+
+    def test_subset_queries_reuse_sources(self, bfs_counter):
+        graph = nx.path_graph(10)
+        path_length_distribution(graph, nodes=[0, 4])
+        assert len(bfs_counter) == 2
+        path_length_distribution(graph, nodes=[0, 4, 9])
+        assert len(bfs_counter) == 3  # only the new source runs BFS
+
+    def test_mutation_invalidates_memo(self, bfs_counter):
+        graph = nx.cycle_graph(8)
+        before = diameter(graph)
+        graph.remove_edge(0, 1)
+        after = diameter(graph)
+        assert after > before
+        assert len(bfs_counter) == 16
+
+    def test_swap_preserving_edge_count_invalidates(self, bfs_counter):
+        graph = nx.cycle_graph(8)
+        diameter(graph)
+        graph.remove_edge(0, 1)
+        graph.add_edge(0, 4)  # same node and edge counts, different structure
+        mutated = diameter(graph)
+        assert len(bfs_counter) == 16  # the stale entry was not reused
+        assert mutated == diameter(graph.copy())
+
+    def test_large_graphs_skip_the_memo(self, bfs_counter):
+        graph = nx.cycle_graph(12)
+        all_pairs_hop_distances(graph, memo_limit=10)
+        all_pairs_hop_distances(graph, memo_limit=10)
+        assert len(bfs_counter) == 24  # recomputed both times, nothing stored
 
 
 class TestOtherMetrics:

@@ -1,8 +1,13 @@
 """Tests for Yen's k-shortest-paths implementation."""
 
+from itertools import islice
+
 import networkx as nx
 import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
 
+from repro.graphs.regular import sequential_random_regular_graph
 from repro.routing.ksp import all_pairs_k_shortest_paths, k_shortest_paths
 
 
@@ -66,6 +71,67 @@ class TestKShortestPaths:
         graph = nx.path_graph(3)
         with pytest.raises(ValueError):
             k_shortest_paths(graph, 0, 2, 0)
+
+
+@st.composite
+def ksp_cases(draw):
+    """A random regular graph plus a (source, target, k) query."""
+    num_nodes = draw(st.integers(min_value=6, max_value=24))
+    degree = draw(st.integers(min_value=2, max_value=min(5, num_nodes - 1)))
+    if (num_nodes * degree) % 2 != 0:
+        degree -= 1
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    k = draw(st.integers(min_value=1, max_value=8))
+    return num_nodes, max(2, degree), seed, k
+
+
+class TestPropertyAgainstNetworkX:
+    """Yen's KSP must agree with networkx.shortest_simple_paths on random
+    regular graphs: loopless paths, non-decreasing lengths, k respected."""
+
+    @settings(max_examples=30, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ksp_cases())
+    def test_matches_reference_on_random_regular_graphs(self, case):
+        num_nodes, degree, seed, k = case
+        graph = sequential_random_regular_graph(num_nodes, degree, rng=seed)
+        nodes = sorted(graph.nodes)
+        source, target = nodes[0], nodes[-1]
+        if not nx.has_path(graph, source, target):
+            return
+
+        ours = k_shortest_paths(graph, source, target, k)
+        reference = list(islice(nx.shortest_simple_paths(graph, source, target), k))
+
+        # k respected: never more than k paths, and exactly as many as the
+        # reference enumeration finds within the first k simple paths.
+        assert len(ours) <= k
+        assert len(ours) == len(reference)
+        # Same length profile (tie-breaking within a length may differ).
+        assert [len(p) for p in ours] == [len(p) for p in reference]
+        # Non-decreasing lengths.
+        lengths = [len(p) for p in ours]
+        assert lengths == sorted(lengths)
+        # Loopless, valid, distinct paths with the right endpoints.
+        assert len(set(ours)) == len(ours)
+        for path in ours:
+            assert path[0] == source and path[-1] == target
+            assert len(set(path)) == len(path)
+            assert all(graph.has_edge(u, v) for u, v in zip(path, path[1:]))
+
+    @settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+    @given(ksp_cases())
+    def test_exhaustive_when_k_exceeds_path_count(self, case):
+        """With a huge k, the paths found must be every simple path, i.e.
+        exactly what the reference enumeration yields."""
+        num_nodes, degree, seed, _ = case
+        graph = sequential_random_regular_graph(min(num_nodes, 10), 2, rng=seed)
+        nodes = sorted(graph.nodes)
+        source, target = nodes[0], nodes[-1]
+        if not nx.has_path(graph, source, target):
+            return
+        ours = k_shortest_paths(graph, source, target, 1000)
+        reference = list(nx.shortest_simple_paths(graph, source, target))
+        assert sorted(ours) == sorted(tuple(p) for p in reference)
 
 
 class TestAllPairs:
