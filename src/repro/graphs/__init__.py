@@ -5,6 +5,7 @@ from repro.graphs.bisection import (
     estimate_bisection_bandwidth,
     exact_bisection_bandwidth,
 )
+from repro.graphs.csr import CSRGraph, batched_hop_distances, csr_graph
 from repro.graphs.properties import (
     average_path_length,
     degree_histogram,
@@ -18,6 +19,9 @@ from repro.graphs.regular import (
 )
 
 __all__ = [
+    "CSRGraph",
+    "batched_hop_distances",
+    "csr_graph",
     "bollobas_bisection_lower_bound",
     "estimate_bisection_bandwidth",
     "exact_bisection_bandwidth",

@@ -1,0 +1,552 @@
+"""Array-native graph kernels: CSR adjacency, batched BFS, CSR-native Yen.
+
+Every figure in the paper reduces to two primitives — all-pairs hop
+distances (Figs 1c and 5) and k-shortest-path enumeration (Table 1, Fig 9).
+This module provides both as kernels over an immutable compressed-sparse-row
+(:class:`CSRGraph`) view of a ``networkx`` graph:
+
+* :func:`csr_graph` builds (and weakly caches) a :class:`CSRGraph` per
+  ``nx.Graph`` object, revalidated against an order-insensitive structural
+  fingerprint so in-place mutations (including edge-count-preserving
+  rewires) are detected.
+* :meth:`CSRGraph.hop_distance_matrix` / :func:`batched_hop_distances` run a
+  frontier-synchronous multi-source BFS where the per-source frontier and
+  visited sets are bit-packed into ``uint64`` words, so one numpy pass over
+  the edge array advances BFS for 64 sources at once.
+* :func:`k_shortest_path_indices` is Yen's algorithm over the CSR arrays:
+  integer node ids, stamped visited/parent scratch arrays reused across spur
+  computations, and integer edge keys instead of per-spur tuple sets.
+
+Neighbor order within each CSR row preserves the ``networkx`` adjacency
+(insertion) order, so BFS parent trees — and therefore every tie broken by
+discovery order — match the historical pure-Python implementations exactly.
+Node *indices* are assigned in sorted node order whenever the node set is
+orderable, which makes index-tuple comparisons equivalent to native
+node-tuple comparisons for deterministic tie-breaking.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import heapq
+import sys
+import weakref
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+
+IndexPath = Tuple[int, ...]
+
+#: Sources are processed in chunks of this many bit-planes to bound the
+#: memory of the (edges x words) gather; 4096 sources over a 3200-switch
+#: fig05-scale graph stays under ~60 MB of transient arrays.
+_BFS_SOURCE_CHUNK = 4096
+
+#: Size guards for the per-graph memos, mirroring the intent of
+#: ``ALL_PAIRS_MEMO_NODE_LIMIT`` in :mod:`repro.graphs.properties`: an
+#: all-pairs k-shortest-path sweep over a fig05-scale graph must not retain
+#: the whole result set for the graph's lifetime.  Hitting a cap evicts the
+#: cache wholesale (generation-style), which keeps the steady-state regimes
+#: — repeated queries over a bounded working set — fully cached.
+_RESULT_CACHE_MAX_ENTRIES = 65536
+_PARENT_TREE_CACHE_MAX = 256
+
+#: Stand-in hash for node ``-1`` (CPython hashes -1 and -2 identically).
+_MINUS_ONE_SURROGATE = 0x2545F4914F6CDD1D
+
+#: Per-source distance rows are memoized only for graphs at most this
+#: large; beyond it the all-pairs table would dominate memory (paper-scale
+#: fig05 builds 3200-switch graphs).  Re-exported by
+#: :mod:`repro.graphs.properties` as ``ALL_PAIRS_MEMO_NODE_LIMIT``.
+DIST_ROW_MEMO_NODE_LIMIT = 1500
+
+
+def _graph_fingerprint(graph: nx.Graph) -> Tuple[int, int, int, int]:
+    """Cheap, exact-in-practice structural fingerprint of an ``nx.Graph``.
+
+    Order- and orientation-insensitive: a commutative hash over node hashes
+    and two per-node neighbor terms — one bilinear (node hash times
+    neighbor-hash sum), one nonlinear (node hash times the square of that
+    sum) — accumulated in one pass over the adjacency dicts with the inner
+    loops in C, unlike the frozenset-of-frozensets signature it replaces.
+
+    The check is probabilistic, not exact: it distinguishes every single
+    edge swap and, thanks to the nonlinear term, generic degree-preserving
+    double swaps (a bilinear form alone cancels on those), but a contrived
+    combination of node hash values can still collide.  Realistic mutations
+    in this codebase (failure injection works on copies, expansion changes
+    the node count) sit far from that surface.
+    """
+    adjacency = graph._adj
+    node_acc = 0
+    edge_acc = 0
+    directed_degree = 0
+    hash_ = hash
+    sum_ = sum
+    map_ = map
+    if -1 in adjacency:
+        # hash(-1) == hash(-2) in CPython, the one systematic collision a
+        # commutative hash cannot see through; remap -1 to a surrogate so
+        # rewires swapping -1 and -2 endpoints still change the fingerprint.
+        def hash_(node, _h=hash):
+            return _MINUS_ONE_SURROGATE if node == -1 else _h(node)
+
+    square_acc = 0
+    for u, neighbors in adjacency.items():
+        hu = hash_(u) * 3 + 1
+        node_acc ^= hu
+        degree = len(neighbors)
+        directed_degree += degree
+        row_sum = 3 * sum_(map_(hash_, neighbors)) + degree
+        edge_acc += hu * row_sum
+        square_acc += hu * row_sum * row_sum
+    return (
+        len(adjacency),
+        directed_degree,
+        node_acc & 0xFFFFFFFFFFFFFFFF,
+        (edge_acc ^ (square_acc * 0x9E3779B97F4A7C15)) & 0xFFFFFFFFFFFFFFFF,
+    )
+
+
+class CSRGraph:
+    """Immutable CSR view of an undirected ``nx.Graph``.
+
+    ``indptr``/``indices`` are ``int32`` arrays storing both directions of
+    every edge; ``nodes[i]`` maps index ``i`` back to the native node and
+    ``index_of`` is the inverse.  ``content_hash`` is a stable
+    (cross-process) SHA-1 identity of the node labels and adjacency
+    structure — computed lazily on first access and cached for the view's
+    lifetime, for callers that need a durable structural key (e.g. result
+    stores or bench snapshots) without rehashing the edge set per use.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "nodes",
+        "index_of",
+        "num_nodes",
+        "num_edges",
+        "_content_hash",
+        "fingerprint",
+        "_adj_lists",
+        "_edge_src",
+        "_dist_rows",
+        "_parent_trees",
+        "result_cache",
+        "_seen",
+        "_parent",
+        "_stamp",
+        "__weakref__",
+    )
+
+    def __init__(self, graph: nx.Graph, fingerprint=None):
+        try:
+            nodes = sorted(graph.nodes)
+        except TypeError:  # mixed unorderable node types: keep insertion order
+            nodes = list(graph.nodes)
+        index_of: Dict[Hashable, int] = {node: i for i, node in enumerate(nodes)}
+        n = len(nodes)
+        indptr = np.zeros(n + 1, dtype=np.int32)
+        flat: List[int] = []
+        adjacency = graph.adj
+        for i, node in enumerate(nodes):
+            row = [index_of[neighbor] for neighbor in adjacency[node]]
+            flat.extend(row)
+            indptr[i + 1] = indptr[i] + len(row)
+        self.indptr = indptr
+        self.indices = np.asarray(flat, dtype=np.int32)
+        self.nodes = nodes
+        self.index_of = index_of
+        self.num_nodes = n
+        self.num_edges = graph.number_of_edges()
+        self.fingerprint = (
+            fingerprint if fingerprint is not None else _graph_fingerprint(graph)
+        )
+        self._content_hash: Optional[str] = None
+        self._adj_lists: Optional[List[List[int]]] = None
+        self._edge_src: Optional[np.ndarray] = None
+        self._dist_rows: Dict[int, np.ndarray] = {}
+        self._parent_trees: Dict[int, List[int]] = {}
+        # Routing modules memoize query results here via store_result (e.g.
+        # ("ksp", s, t, k)).  The cache lives and dies with this CSR view,
+        # so any graph mutation — which forces a rebuild via the
+        # fingerprint — drops it wholesale.
+        self.result_cache: Dict = {}
+        # Yen/BFS scratch arrays (lazy): visited stamps and parent pointers.
+        self._seen: Optional[List[int]] = None
+        self._parent: Optional[List[int]] = None
+        self._stamp = 0
+
+    @property
+    def content_hash(self) -> str:
+        """Stable SHA-1 of node labels + adjacency (lazily computed)."""
+        if self._content_hash is None:
+            digest = hashlib.sha1()
+            digest.update("\x1f".join(repr(node) for node in self.nodes).encode())
+            digest.update(self.indptr.tobytes())
+            digest.update(self.indices.tobytes())
+            self._content_hash = digest.hexdigest()
+        return self._content_hash
+
+    def store_result(self, key, value) -> None:
+        """Memoize a routing query result, evicting wholesale at the cap."""
+        if len(self.result_cache) >= _RESULT_CACHE_MAX_ENTRIES:
+            self.result_cache.clear()
+        self.result_cache[key] = value
+
+    def adj_lists(self) -> List[List[int]]:
+        """Adjacency as plain Python int lists (fastest for scalar BFS loops)."""
+        if self._adj_lists is None:
+            indices = self.indices.tolist()
+            indptr = self.indptr.tolist()
+            self._adj_lists = [
+                indices[indptr[i] : indptr[i + 1]] for i in range(self.num_nodes)
+            ]
+        return self._adj_lists
+
+    def edge_sources(self) -> np.ndarray:
+        """Source index of every directed CSR edge (``np.repeat`` of rows)."""
+        if self._edge_src is None:
+            degrees = np.diff(self.indptr)
+            self._edge_src = np.repeat(
+                np.arange(self.num_nodes, dtype=np.int32), degrees
+            )
+        return self._edge_src
+
+    def hop_distance_matrix(self, source_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Hop distances from each source index to every node.
+
+        Returns an ``int32`` array of shape ``(len(sources), num_nodes)``
+        with ``-1`` for unreachable nodes; column ``i`` is ``self.nodes[i]``.
+        """
+        if source_indices is None:
+            source_indices = range(self.num_nodes)
+        sources = np.asarray(list(source_indices), dtype=np.int32)
+        dist = np.full((len(sources), self.num_nodes), -1, dtype=np.int32)
+        for start in range(0, len(sources), _BFS_SOURCE_CHUNK):
+            chunk = sources[start : start + _BFS_SOURCE_CHUNK]
+            self._bfs_chunk(chunk, dist[start : start + _BFS_SOURCE_CHUNK])
+        return dist
+
+    def _bfs_chunk(self, sources: np.ndarray, dist: np.ndarray) -> None:
+        """Bit-parallel frontier BFS for one chunk of sources (writes ``dist``)."""
+        n = self.num_nodes
+        num_sources = len(sources)
+        if n == 0 or num_sources == 0:
+            return
+        source_pos = np.arange(num_sources)
+        dist[source_pos, sources] = 0
+        num_edges = len(self.indices)
+        if num_edges == 0:
+            return
+        words = (num_sources + 63) // 64
+        frontier = np.zeros((n, words), dtype=np.uint64)
+        bit = np.uint64(1) << (source_pos % 64).astype(np.uint64)
+        np.bitwise_or.at(frontier, (sources, source_pos // 64), bit)
+        visited = frontier.copy()
+        starts = self.indptr[:-1]
+        isolated = np.diff(self.indptr) == 0
+        any_isolated = bool(isolated.any())
+        # One trailing zero row keeps every reduceat segment in bounds (an
+        # ``indptr`` value may equal num_edges when trailing nodes are
+        # isolated); OR-ing the pad into the last segment is a no-op.
+        gathered = np.zeros((num_edges + 1, words), dtype=np.uint64)
+        little_endian = sys.byteorder == "little"
+        level = 0
+        while frontier.any():
+            level += 1
+            # One gather + segmented OR advances BFS for all sources at once.
+            np.take(frontier, self.indices, axis=0, out=gathered[:num_edges])
+            neighbor_bits = np.bitwise_or.reduceat(gathered, starts, axis=0)
+            if any_isolated:
+                # reduceat maps an empty segment to the row at its start
+                # index, which belongs to another node; zero those out.
+                neighbor_bits[isolated] = 0
+            new = neighbor_bits & ~visited
+            visited |= new
+            node_idx, word_idx = new.nonzero()
+            if len(node_idx) == 0:
+                break
+            values = new[node_idx, word_idx]
+            if little_endian:
+                bits = np.unpackbits(
+                    values.view(np.uint8).reshape(-1, 8), axis=1, bitorder="little"
+                )
+                entry, bit_pos = bits.nonzero()
+                dist[word_idx[entry] * 64 + bit_pos, node_idx[entry]] = level
+            else:  # pragma: no cover - big-endian fallback
+                for b in range(64):
+                    mask = (values >> np.uint64(b)) & np.uint64(1)
+                    sel = mask != 0
+                    if sel.any():
+                        dist[word_idx[sel] * 64 + b, node_idx[sel]] = level
+            frontier = new
+
+    # ------------------------------------------------------------------
+    # Scalar BFS helpers shared by Yen's algorithm and path enumeration.
+    # ------------------------------------------------------------------
+
+    def _scratch(self) -> Tuple[List[int], List[int], int]:
+        """Visited-stamp and parent scratch lists, plus a fresh stamp value."""
+        if self._seen is None or len(self._seen) < self.num_nodes:
+            self._seen = [0] * self.num_nodes
+            self._parent = [0] * self.num_nodes
+            self._stamp = 0
+        self._stamp += 1
+        return self._seen, self._parent, self._stamp
+
+    def distance_row(self, source: int) -> np.ndarray:
+        """Hop distances from one source index, memoized via ``_dist_rows``.
+
+        Shares the same per-source row cache the metric helpers in
+        :mod:`repro.graphs.properties` populate, so e.g. repeated ECMP
+        enumerations from one source reuse a single BFS sweep.  Rows are
+        only retained for graphs within ``DIST_ROW_MEMO_NODE_LIMIT`` nodes.
+        """
+        row = self._dist_rows.get(source)
+        if row is None:
+            row = self.hop_distance_matrix([source])[0]
+            if self.num_nodes <= DIST_ROW_MEMO_NODE_LIMIT:
+                self._dist_rows[source] = row
+        return row
+
+    def bfs_parent_tree(self, source: int) -> List[int]:
+        """Full BFS parent tree from ``source`` (``-1`` marks unreachable).
+
+        Parent assignments follow CSR (= networkx adjacency) order, so the
+        path extracted for any target equals the one an early-exit BFS to
+        that target would have produced.  Trees are memoized per source
+        (bounded; evicted wholesale at the cap), so repeated
+        k-shortest-path queries from one source (or one pair) skip their
+        initial full BFS.
+        """
+        cached = self._parent_trees.get(source)
+        if cached is not None:
+            return cached
+        adj = self.adj_lists()
+        seen, _, stamp = self._scratch()
+        parents = [-1] * self.num_nodes
+        seen[source] = stamp
+        parents[source] = source
+        queue = [source]
+        for u in queue:
+            for v in adj[u]:
+                if seen[v] != stamp:
+                    seen[v] = stamp
+                    parents[v] = u
+                    queue.append(v)
+        if len(self._parent_trees) >= _PARENT_TREE_CACHE_MAX:
+            self._parent_trees.clear()
+        self._parent_trees[source] = parents
+        return parents
+
+
+def path_from_parent_tree(parents: Sequence[int], source: int, target: int) -> Optional[IndexPath]:
+    """Extract the tree path ``source -> target``; None if unreachable."""
+    if parents[target] < 0:
+        return None
+    if source == target:
+        return (source,)
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    return tuple(reversed(path))
+
+
+def _bfs_spur_path(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    banned_first_hops: Optional[set],
+    blocked_nodes: Sequence[int],
+) -> Optional[IndexPath]:
+    """Shortest path by BFS avoiding removed edges/nodes; None if absent.
+
+    In Yen's algorithm every removed edge is incident to the spur node — the
+    BFS source — so instead of filtering every traversed edge the kernel
+    only filters the source's own neighbor expansion (``banned_first_hops``).
+    Any other traversal of a removed edge would re-enter the source, which
+    the visited set forbids anyway.  Blocked nodes are pre-marked visited,
+    which excludes them exactly like the historical ``removed_nodes`` set.
+    """
+    if source == target:
+        return (source,)
+    adj = csr.adj_lists()
+    seen, parent, stamp = csr._scratch()
+    for node in blocked_nodes:
+        seen[node] = stamp
+    if seen[source] == stamp or seen[target] == stamp:
+        return None
+    seen[source] = stamp
+    parent[source] = source
+    queue = []
+    for v in adj[source]:
+        if seen[v] == stamp or (banned_first_hops and v in banned_first_hops):
+            continue
+        parent[v] = source
+        if v == target:
+            return (source, v)
+        seen[v] = stamp
+        queue.append(v)
+    # Plain stamped BFS from here on: iterating the list while appending to
+    # it gives FIFO order without deque overhead.
+    for u in queue:
+        for v in adj[u]:
+            if seen[v] != stamp:
+                parent[v] = u
+                if v == target:
+                    path = [v]
+                    while path[-1] != source:
+                        path.append(parent[path[-1]])
+                    return tuple(reversed(path))
+                seen[v] = stamp
+                queue.append(v)
+    return None
+
+
+def k_shortest_path_indices(
+    csr: CSRGraph,
+    source: int,
+    target: int,
+    k: int,
+    first_path: Optional[IndexPath] = None,
+) -> List[IndexPath]:
+    """Yen's k-shortest loopless paths over CSR index space.
+
+    Uses Lawler's spur restriction: an accepted path only spurs from its own
+    deviation index onward, since every earlier branch point was already
+    spurred when the ancestor it copies that prefix from was processed.  The
+    candidate stream per branch point is identical to classic Yen's, so
+    results match the pre-CSR implementation path-for-path.
+
+    Candidate ties are broken by ``(length, index tuple)``; because indices
+    are assigned in sorted node order this matches native node ordering.
+    ``first_path`` lets callers share one BFS tree across the targets of a
+    common source (see :func:`repro.routing.ksp.all_pairs_k_shortest_paths`).
+    """
+    if first_path is None:
+        first_path = _bfs_spur_path(csr, source, target, None, ())
+    if first_path is None:
+        return []
+    paths: List[IndexPath] = [first_path]
+    deviation_index = 0
+    # Candidate heap entries: (length, path, deviation index of the path).
+    candidates: List[Tuple[int, IndexPath, int]] = []
+    seen_candidates = set()
+
+    while len(paths) < k:
+        previous = paths[-1]
+        for i in range(deviation_index, len(previous) - 1):
+            spur_node = previous[i]
+            root = previous[: i + 1]
+
+            banned_first_hops = {
+                path[i + 1]
+                for path in paths
+                if len(path) > i and path[: i + 1] == root
+            }
+
+            spur = _bfs_spur_path(csr, spur_node, target, banned_first_hops, root[:-1])
+            if spur is None:
+                continue
+            candidate = root[:-1] + spur
+            if candidate in seen_candidates:
+                continue
+            seen_candidates.add(candidate)
+            heapq.heappush(candidates, (len(candidate), candidate, i))
+
+        if not candidates:
+            break
+        _, best, deviation_index = heapq.heappop(candidates)
+        paths.append(best)
+    return paths
+
+
+def all_shortest_path_indices(csr: CSRGraph, source: int, target: int) -> List[IndexPath]:
+    """Every shortest path between two node indices, in sorted index order."""
+    if source == target:
+        return [(source,)]
+    dist_s = csr.distance_row(source)
+    dist_t = csr.distance_row(target)
+    length = int(dist_s[target])
+    if length < 0:
+        return []
+    adj = csr.adj_lists()
+    ds = dist_s.tolist()
+    dt = dist_t.tolist()
+    results: List[IndexPath] = []
+    path = [source]
+    # Iterative DFS over shortest-path edges only (ds increases, dt
+    # decreases); explicit iterator stack keeps arbitrarily long paths safe.
+    iterators = [iter(adj[source])]
+    while iterators:
+        depth = len(iterators) - 1
+        advanced = False
+        for v in iterators[-1]:
+            if ds[v] == depth + 1 and dt[v] == length - depth - 1:
+                path.append(v)
+                if v == target:
+                    results.append(tuple(path))
+                    path.pop()
+                else:
+                    iterators.append(iter(adj[v]))
+                    advanced = True
+                    break
+        if not advanced:
+            iterators.pop()
+            path.pop()
+    results.sort()
+    return results
+
+
+# ---------------------------------------------------------------------------
+# Per-graph cache
+# ---------------------------------------------------------------------------
+
+_csr_cache: "weakref.WeakKeyDictionary[nx.Graph, CSRGraph]" = weakref.WeakKeyDictionary()
+
+
+def csr_graph(graph: nx.Graph) -> CSRGraph:
+    """CSR view of ``graph``, cached per graph object (weakly referenced).
+
+    A cached entry is revalidated against :func:`_graph_fingerprint`, so
+    mutating the graph in place — even preserving node and edge counts —
+    triggers a rebuild.  Graph types that do not support weak references are
+    rebuilt on every call.
+    """
+    fingerprint = _graph_fingerprint(graph)
+    try:
+        entry = _csr_cache.get(graph)
+    except TypeError:
+        return CSRGraph(graph, fingerprint)
+    if entry is not None and entry.fingerprint == fingerprint:
+        return entry
+    csr = CSRGraph(graph, fingerprint)
+    _csr_cache[graph] = csr
+    return csr
+
+
+def clear_csr_cache() -> None:
+    """Drop every cached CSR view and its memoized distance rows."""
+    _csr_cache.clear()
+
+
+def batched_hop_distances(
+    graph: nx.Graph, sources: Optional[Sequence[Hashable]] = None
+) -> np.ndarray:
+    """Hop-distance matrix from ``sources`` (default: all nodes) by node.
+
+    Row ``i`` corresponds to ``sources[i]`` and column ``j`` to
+    ``csr_graph(graph).nodes[j]``; unreachable entries are ``-1``.
+    """
+    csr = csr_graph(graph)
+    if sources is None:
+        indices = None
+    else:
+        try:
+            indices = [csr.index_of[node] for node in sources]
+        except KeyError as error:
+            raise nx.NodeNotFound(f"source {error.args[0]!r} not in graph") from None
+    return csr.hop_distance_matrix(indices)

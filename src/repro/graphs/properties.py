@@ -1,18 +1,34 @@
 """Structural graph metrics used throughout the evaluation.
 
 The paper's Figures 1(c) and 5 report server-to-server and switch-to-switch
-path-length distributions, means and diameters.  The helpers here compute
-them with plain BFS (all edges have unit length), which is exact and fast
-enough for the scales the paper simulates.
+path-length distributions, means and diameters.  All edges have unit length,
+so everything reduces to BFS hop distances; the heavy lifting runs on the
+bit-parallel batched BFS kernel in :mod:`repro.graphs.csr` and pairwise
+histograms are reduced with ``numpy`` straight from the distance matrix.
+
+Per-source distance rows are memoized on the cached :class:`~repro.graphs.csr.CSRGraph`
+(weakly referenced per graph object), so one BFS sweep is shared by
+:func:`average_path_length`, :func:`diameter` and :func:`path_length_cdf`.
+The cache is revalidated against the CSR structural fingerprint computed at
+build time, so in-place mutations — including edge-count-preserving rewires
+such as failure injection followed by repair — are detected without the old
+frozenset-of-frozensets hashing on every memo hit.
 """
 
 from __future__ import annotations
 
-import weakref
 from collections import Counter, deque
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional, Tuple
 
 import networkx as nx
+import numpy as np
+
+from repro.graphs.csr import (
+    CSRGraph,
+    DIST_ROW_MEMO_NODE_LIMIT,
+    clear_csr_cache,
+    csr_graph,
+)
 
 
 def is_connected(graph: nx.Graph) -> bool:
@@ -23,7 +39,12 @@ def is_connected(graph: nx.Graph) -> bool:
 
 
 def bfs_distances(graph: nx.Graph, source) -> Dict:
-    """Hop distances from ``source`` to every reachable node (including itself)."""
+    """Hop distances from ``source`` to every reachable node (including itself).
+
+    Pure-Python reference implementation; the batched CSR kernel is used for
+    anything performance-sensitive, and the parity suite pins the two
+    against each other.
+    """
     distances = {source: 0}
     queue = deque([source])
     while queue:
@@ -35,24 +56,60 @@ def bfs_distances(graph: nx.Graph, source) -> Dict:
     return distances
 
 
-#: Per-source BFS results are memoized only for graphs at most this large;
+#: Per-source distance rows are memoized only for graphs at most this large;
 #: beyond it the all-pairs table would dominate memory (paper-scale fig05
 #: builds 3200-switch graphs) and distances are recomputed transiently.
-ALL_PAIRS_MEMO_NODE_LIMIT = 1500
-
-# graph -> {"signature": (num_nodes, frozenset of edges), "distances": {src: {dst: hops}}}
-_distance_memo: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+#: (Single source of truth lives in :mod:`repro.graphs.csr`.)
+ALL_PAIRS_MEMO_NODE_LIMIT = DIST_ROW_MEMO_NODE_LIMIT
 
 
-def _edges_signature(graph: nx.Graph):
-    """Exact structural fingerprint: stale entries are detected even when a
-    mutation (e.g. failure injection then repair) preserves the edge count."""
-    return (graph.number_of_nodes(), frozenset(frozenset(edge) for edge in graph.edges()))
+def _indices_of(csr: CSRGraph, nodes: Iterable) -> List[int]:
+    """Resolve nodes to CSR indices, raising ``NodeNotFound`` on a miss."""
+    try:
+        return [csr.index_of[node] for node in nodes]
+    except KeyError as error:
+        raise nx.NodeNotFound(f"node {error.args[0]!r} not in graph") from None
+
+
+def _bfs_matrix(csr: CSRGraph, source_indices: List[int]) -> np.ndarray:
+    """Kernel seam: batched BFS rows for the given source indices.
+
+    Kept as a module-level indirection so tests can count BFS sweeps.
+    """
+    return csr.hop_distance_matrix(source_indices)
 
 
 def clear_distance_memo() -> None:
     """Drop every memoized BFS result (mainly useful in tests)."""
-    _distance_memo.clear()
+    clear_csr_cache()
+
+
+def _distance_rows(
+    graph: nx.Graph,
+    sources: Optional[Iterable] = None,
+    memo_limit: int = ALL_PAIRS_MEMO_NODE_LIMIT,
+) -> Tuple[CSRGraph, List[int], List[np.ndarray]]:
+    """CSR view plus one distance row per requested source (memoized)."""
+    csr = csr_graph(graph)
+    if sources is None:
+        wanted = list(range(csr.num_nodes))
+    else:
+        wanted = _indices_of(csr, sources)
+    return csr, wanted, _rows_for_indices(csr, wanted, memo_limit)
+
+
+def _rows_for_indices(
+    csr: CSRGraph, wanted: List[int], memo_limit: int = ALL_PAIRS_MEMO_NODE_LIMIT
+) -> List[np.ndarray]:
+    if csr.num_nodes <= memo_limit:
+        rows = csr._dist_rows
+        missing = [index for index in wanted if index not in rows]
+        if missing:
+            matrix = _bfs_matrix(csr, missing)
+            for row, index in enumerate(missing):
+                rows[index] = matrix[row]
+        return [rows[index] for index in wanted]
+    return list(_bfs_matrix(csr, wanted))
 
 
 def all_pairs_hop_distances(
@@ -63,29 +120,19 @@ def all_pairs_hop_distances(
     """Hop distances from each of ``sources`` (default: all nodes) to every
     reachable node, as ``{source: {node: hops}}``.
 
-    Results are memoized per graph (weakly referenced) so the BFS sweep runs
-    once per graph structure and is shared by :func:`average_path_length`,
-    :func:`diameter` and :func:`path_length_cdf`.  The memo is invalidated
-    whenever the graph's node/edge set changes, and is skipped entirely for
-    graphs larger than ``memo_limit`` nodes.  Callers must treat the returned
-    distance dicts as read-only.
+    The underlying BFS rows are memoized per graph (weakly referenced, see
+    :func:`_distance_rows`); the dict-of-dicts view is rebuilt per call for
+    API compatibility, so hot paths should use the array kernels directly.
     """
-    wanted = list(graph.nodes) if sources is None else list(sources)
-    distances: Dict = {}
-    if graph.number_of_nodes() <= memo_limit:
-        try:
-            entry = _distance_memo.get(graph)
-            signature = _edges_signature(graph)
-            if entry is None or entry["signature"] != signature:
-                entry = {"signature": signature, "distances": {}}
-                _distance_memo[graph] = entry
-            distances = entry["distances"]
-        except TypeError:  # graph type does not support weak references
-            distances = {}
-    for source in wanted:
-        if source not in distances:
-            distances[source] = bfs_distances(graph, source)
-    return {source: distances[source] for source in wanted}
+    csr, wanted, rows = _distance_rows(graph, sources, memo_limit)
+    nodes = csr.nodes
+    table: Dict = {}
+    for index, row in zip(wanted, rows):
+        reachable = np.nonzero(row >= 0)[0]
+        table[nodes[index]] = {
+            nodes[target]: int(row[target]) for target in reachable.tolist()
+        }
+    return table
 
 
 def path_length_distribution(
@@ -97,17 +144,21 @@ def path_length_distribution(
     subset (e.g. only ToR switches that host servers).  Unreachable pairs are
     ignored.  Each unordered pair is counted once.
     """
-    targets = set(graph.nodes) if nodes is None else set(nodes)
-    distances = all_pairs_hop_distances(graph, targets)
-    histogram: Counter = Counter()
-    seen = set()
-    for source in targets:
-        seen.add(source)
-        for destination, hops in distances[source].items():
-            if destination in seen or destination not in targets:
-                continue
-            histogram[hops] += 1
-    return histogram
+    csr = csr_graph(graph)
+    if nodes is None:
+        target_indices = list(range(csr.num_nodes))
+    else:
+        target_indices = sorted(set(_indices_of(csr, nodes)))
+    if len(target_indices) < 2:
+        return Counter()
+    rows = _rows_for_indices(csr, target_indices)
+    submatrix = np.stack(rows)[:, target_indices]
+    upper = submatrix[np.triu_indices(len(target_indices), k=1)]
+    upper = upper[upper > 0]  # drops unreachable (-1); 0 only occurs on the diagonal
+    counts = np.bincount(upper)
+    return Counter(
+        {hops: int(count) for hops, count in enumerate(counts.tolist()) if count}
+    )
 
 
 def average_path_length(graph: nx.Graph, nodes: Optional[Iterable] = None) -> float:

@@ -9,6 +9,7 @@ are -- i.e. ECMP fails to spread load on a random graph.
 
 from __future__ import annotations
 
+from collections import Counter
 from typing import Dict, Hashable, Iterable, List, Tuple
 
 from repro.routing.ksp import Path
@@ -22,16 +23,15 @@ def link_path_counts(paths: Iterable[Path]) -> Dict[DirectedLink, int]:
     Each network cable is counted as two directed links, one per direction,
     exactly as in the paper's Fig 9.  Duplicate paths are counted once.
     """
-    counts: Dict[DirectedLink, int] = {}
+    counts: Counter = Counter()
     seen_paths = set()
     for path in paths:
         key = tuple(path)
         if key in seen_paths:
             continue
         seen_paths.add(key)
-        for u, v in zip(path, path[1:]):
-            counts[(u, v)] = counts.get((u, v), 0) + 1
-    return counts
+        counts.update(zip(key, key[1:]))
+    return dict(counts)
 
 
 def ranked_counts(

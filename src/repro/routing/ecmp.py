@@ -13,17 +13,35 @@ from typing import Dict, Hashable, List, Sequence, Tuple
 
 import networkx as nx
 
-from repro.routing.ksp import Path, _sort_key
+from repro.graphs.csr import all_shortest_path_indices, csr_graph
+from repro.routing.ksp import Path
 from repro.utils.rng import RngLike, ensure_rng
 
 
 def all_shortest_paths(graph: nx.Graph, source: Hashable, target: Hashable) -> List[Path]:
-    """All shortest paths between two nodes, deterministically ordered."""
+    """All shortest paths between two nodes, deterministically ordered.
+
+    Enumerated over the CSR kernel: two BFS distance rows (from source and
+    target) classify which edges lie on a shortest path, and a DFS walks
+    exactly those.  Paths are ordered by native node sequence.
+    """
+    csr = csr_graph(graph)
+    key = ("ecmp", source, target)
+    cached = csr.result_cache.get(key)
+    if cached is not None:
+        return list(cached)
     try:
-        paths = [tuple(p) for p in nx.all_shortest_paths(graph, source, target)]
-    except nx.NetworkXNoPath:
-        return []
-    return sorted(paths, key=_sort_key)
+        source_index = csr.index_of[source]
+        target_index = csr.index_of[target]
+    except KeyError:
+        raise nx.NodeNotFound(
+            f"source {source!r} or target {target!r} not in graph"
+        ) from None
+    index_paths = all_shortest_path_indices(csr, source_index, target_index)
+    nodes = csr.nodes
+    result = [tuple(nodes[i] for i in path) for path in index_paths]
+    csr.store_result(key, result)
+    return list(result)
 
 
 def ecmp_paths(

@@ -1,51 +1,33 @@
 """Yen's k-shortest loopless paths algorithm (Yen, 1971).
 
 The paper routes Jellyfish with k-shortest-path routing (k = 8) because
-plain ECMP does not expose enough path diversity on a random graph.  This is
-a from-scratch implementation of Yen's algorithm over unweighted (hop-count)
-graphs, with a small priority-queue candidate set.
+plain ECMP does not expose enough path diversity on a random graph.  The
+enumeration runs on the CSR kernel (:func:`repro.graphs.csr.k_shortest_path_indices`):
+integer node ids, reusable stamped visited/parent arrays per spur BFS, and
+integer edge keys instead of rebuilt tuple sets.  Spur BFS expands
+neighbors in the same adjacency order as the historical pure-Python
+implementation (kept in :mod:`repro.routing._reference`), so results match
+it path-for-path.
+
+Ties between equal-length candidates are broken by the native node sequence
+(all topologies use int or tuple node ids), which is stable under graph
+relabeling — unlike the stringified ordering used previously, which sorted
+node 10 before node 2.
 """
 
 from __future__ import annotations
 
-import heapq
-from collections import deque
-from typing import Dict, Hashable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Sequence, Tuple
 
 import networkx as nx
 
+from repro.graphs.csr import (
+    csr_graph,
+    k_shortest_path_indices,
+    path_from_parent_tree,
+)
+
 Path = Tuple[Hashable, ...]
-
-
-def _bfs_shortest_path(
-    graph: nx.Graph,
-    source: Hashable,
-    target: Hashable,
-    removed_edges: Set[Tuple[Hashable, Hashable]],
-    removed_nodes: Set[Hashable],
-) -> Optional[Path]:
-    """Shortest path by BFS avoiding the removed edges/nodes; None if absent."""
-    if source == target:
-        return (source,)
-    if source in removed_nodes or target in removed_nodes:
-        return None
-    parents: Dict[Hashable, Hashable] = {source: source}
-    queue = deque([source])
-    while queue:
-        node = queue.popleft()
-        for neighbor in graph.neighbors(node):
-            if neighbor in parents or neighbor in removed_nodes:
-                continue
-            if (node, neighbor) in removed_edges or (neighbor, node) in removed_edges:
-                continue
-            parents[neighbor] = node
-            if neighbor == target:
-                path = [neighbor]
-                while path[-1] != source:
-                    path.append(parents[path[-1]])
-                return tuple(reversed(path))
-            queue.append(neighbor)
-    return None
 
 
 def k_shortest_paths(
@@ -58,56 +40,81 @@ def k_shortest_paths(
     """
     if k <= 0:
         raise ValueError("k must be positive")
-    if source not in graph or target not in graph:
-        raise nx.NodeNotFound(f"source {source!r} or target {target!r} not in graph")
-    first = _bfs_shortest_path(graph, source, target, set(), set())
+    csr = csr_graph(graph)
+    key = ("ksp", source, target, k)
+    cached = csr.result_cache.get(key)
+    if cached is not None:
+        return list(cached)
+    try:
+        source_index = csr.index_of[source]
+        target_index = csr.index_of[target]
+    except KeyError:
+        raise nx.NodeNotFound(
+            f"source {source!r} or target {target!r} not in graph"
+        ) from None
+    first = path_from_parent_tree(
+        csr.bfs_parent_tree(source_index), source_index, target_index
+    )
     if first is None:
+        csr.store_result(key, [])
         return []
-    paths: List[Path] = [first]
-    # Candidate heap entries: (length, path) with path as a tuple for ordering.
-    candidates: List[Tuple[int, Path]] = []
-    seen_candidates: Set[Path] = set()
-
-    while len(paths) < k:
-        previous = paths[-1]
-        for i in range(len(previous) - 1):
-            spur_node = previous[i]
-            root = previous[: i + 1]
-
-            removed_edges: Set[Tuple[Hashable, Hashable]] = set()
-            for path in paths:
-                if len(path) > i and path[: i + 1] == root:
-                    removed_edges.add((path[i], path[i + 1]))
-            removed_nodes = set(root[:-1])
-
-            spur = _bfs_shortest_path(
-                graph, spur_node, target, removed_edges, removed_nodes
-            )
-            if spur is None:
-                continue
-            candidate = root[:-1] + spur
-            if candidate in seen_candidates:
-                continue
-            seen_candidates.add(candidate)
-            heapq.heappush(candidates, (len(candidate), _sort_key(candidate), candidate))
-
-        if not candidates:
-            break
-        _, _, best = heapq.heappop(candidates)
-        paths.append(best)
-    return paths
-
-
-def _sort_key(path: Path) -> Tuple[str, ...]:
-    """Deterministic tiebreak key: stringified node sequence."""
-    return tuple(str(node) for node in path)
+    index_paths = k_shortest_path_indices(
+        csr, source_index, target_index, k, first_path=first
+    )
+    nodes = csr.nodes
+    result = [tuple(nodes[i] for i in path) for path in index_paths]
+    csr.store_result(key, result)
+    return list(result)
 
 
 def all_pairs_k_shortest_paths(
     graph: nx.Graph, pairs: Sequence[Tuple[Hashable, Hashable]], k: int
 ) -> Dict[Tuple[Hashable, Hashable], List[Path]]:
-    """Compute k-shortest paths for a collection of (source, target) pairs."""
-    return {
-        (source, target): k_shortest_paths(graph, source, target, k)
-        for source, target in pairs
-    }
+    """Compute k-shortest paths for a collection of (source, target) pairs.
+
+    Pairs are grouped by source and each source's BFS shortest-path tree is
+    computed once and shared across its targets, so the per-pair Yen run
+    skips its initial full BFS.  Results share the same per-graph
+    ``("ksp", source, target, k)`` cache as :func:`k_shortest_paths`.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    for source, target in pairs:
+        if source not in graph or target not in graph:
+            raise nx.NodeNotFound(
+                f"source {source!r} or target {target!r} not in graph"
+            )
+    csr = csr_graph(graph)
+    nodes = csr.nodes
+    by_source: Dict[int, List[Tuple[Hashable, Hashable]]] = {}
+    for source, target in pairs:
+        by_source.setdefault(csr.index_of[source], []).append((source, target))
+
+    table: Dict[Tuple[Hashable, Hashable], List[Path]] = {}
+    for source_index, group in by_source.items():
+        pending = []
+        for pair in group:
+            cached = csr.result_cache.get(("ksp", pair[0], pair[1], k))
+            if cached is not None:
+                table[pair] = list(cached)
+            else:
+                pending.append(pair)
+        if not pending:
+            continue
+        parents = csr.bfs_parent_tree(source_index)
+        for pair in pending:
+            first = path_from_parent_tree(
+                parents, source_index, csr.index_of[pair[1]]
+            )
+            key = ("ksp", pair[0], pair[1], k)
+            if first is None:
+                csr.store_result(key, [])
+                table[pair] = []
+                continue
+            index_paths = k_shortest_path_indices(
+                csr, source_index, csr.index_of[pair[1]], k, first_path=first
+            )
+            result = [tuple(nodes[i] for i in path) for path in index_paths]
+            csr.store_result(key, result)
+            table[pair] = list(result)
+    return table

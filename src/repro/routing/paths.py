@@ -14,7 +14,7 @@ from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
 import networkx as nx
 
 from repro.routing.ecmp import ecmp_paths
-from repro.routing.ksp import Path, k_shortest_paths
+from repro.routing.ksp import Path, all_pairs_k_shortest_paths
 
 Pair = Tuple[Hashable, Hashable]
 
@@ -78,18 +78,25 @@ def build_path_set(
 
     ``scheme`` is ``"ksp"`` for Yen's k-shortest paths or ``"ecmp"`` for
     w-way equal-cost shortest paths (``k`` doubles as the ECMP width).
+    KSP queries go through :func:`~repro.routing.ksp.all_pairs_k_shortest_paths`,
+    which validates the graph's CSR view once for the whole batch and
+    shares one BFS tree across the targets of each source.
     """
     if scheme not in ("ksp", "ecmp"):
         raise ValueError(f"unknown routing scheme {scheme!r}")
+    distinct = [(source, target) for source, target in pairs if source != target]
     table: Dict[Pair, List[Path]] = {}
-    for source, target in pairs:
-        if source == target:
-            continue
-        if scheme == "ksp":
-            options = k_shortest_paths(graph, source, target, k)
-        else:
+    if scheme == "ksp":
+        computed = all_pairs_k_shortest_paths(graph, distinct, k)
+        for pair in distinct:
+            options = computed[pair]
+            if not options:
+                raise ValueError(f"no path between {pair[0]!r} and {pair[1]!r}")
+            table[pair] = options
+    else:
+        for source, target in distinct:
             options = ecmp_paths(graph, source, target, width=k)
-        if not options:
-            raise ValueError(f"no path between {source!r} and {target!r}")
-        table[(source, target)] = options
+            if not options:
+                raise ValueError(f"no path between {source!r} and {target!r}")
+            table[(source, target)] = options
     return PathSet(paths=table, kind=f"{scheme}-{k}")

@@ -53,6 +53,13 @@ def jains_fairness_index(rates: Sequence[float]) -> float:
     if total == 0:
         return 1.0
     square_sum = sum(r * r for r in rates)
+    if square_sum == 0:
+        # r*r underflows to 0.0 for denormal rates even though their sum is
+        # positive; rescaling by the peak keeps the index well defined.
+        peak = max(rates)
+        scaled = [r / peak for r in rates]
+        total = sum(scaled)
+        square_sum = sum(r * r for r in scaled)
     return (total * total) / (len(rates) * square_sum)
 
 

@@ -81,7 +81,12 @@ class TestPathLengthCdf:
 
 
 class TestAllPairsMemoization:
-    """BFS sweeps run once per graph and are shared across metric queries."""
+    """BFS sweeps run once per graph and are shared across metric queries.
+
+    Sweeps are counted at the CSR kernel seam (``properties._bfs_matrix``);
+    every requested source index counts as one BFS, matching the old
+    per-source accounting.
+    """
 
     @pytest.fixture(autouse=True)
     def _fresh_memo(self):
@@ -92,13 +97,13 @@ class TestAllPairsMemoization:
     @pytest.fixture()
     def bfs_counter(self, monkeypatch):
         calls = []
-        original = properties.bfs_distances
+        original = properties._bfs_matrix
 
-        def counting(graph, source):
-            calls.append(source)
-            return original(graph, source)
+        def counting(csr, source_indices):
+            calls.extend(source_indices)
+            return original(csr, source_indices)
 
-        monkeypatch.setattr(properties, "bfs_distances", counting)
+        monkeypatch.setattr(properties, "_bfs_matrix", counting)
         return calls
 
     def test_distances_match_uncached_bfs(self):
