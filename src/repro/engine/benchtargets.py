@@ -11,7 +11,8 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.graphs.properties import average_path_length, diameter
-from repro.flow.throughput import normalized_throughput
+from repro.flow.throughput import normalized_throughput, supports_full_throughput
+from repro.simulation.fluid import SimulationConfig, simulate_fluid
 from repro.topologies.jellyfish import JellyfishTopology
 from repro.traffic.matrices import random_permutation_traffic
 from repro.utils.rng import ensure_rng
@@ -41,3 +42,52 @@ def jellyfish_throughput_point(
     traffic = random_permutation_traffic(topology, rng=rng)
     value = normalized_throughput(topology, traffic, engine="path", k=k).normalized
     return {"normalized_throughput": value}
+
+
+def jellyfish_fluid_point(
+    num_switches: int,
+    ports: int,
+    network_degree: int,
+    routing: str = "ksp",
+    congestion_control: str = "mptcp",
+    k: int = 8,
+    seed: Optional[int] = None,
+) -> dict:
+    """Fluid-simulator throughput/fairness of one Jellyfish (max-min engine).
+
+    Exercises the vectorized progressive-filling kernel plus the shared
+    path-table state on a representative routing + congestion-control combo.
+    """
+    rng = ensure_rng(seed)
+    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    traffic = random_permutation_traffic(topology, rng=rng)
+    config = SimulationConfig(
+        routing=routing, k=k, congestion_control=congestion_control
+    )
+    outcome = simulate_fluid(topology, traffic, config, rng=rng)
+    return {
+        "average_throughput": outcome.average_throughput,
+        "fairness": outcome.fairness,
+    }
+
+
+def jellyfish_full_throughput_point(
+    num_switches: int,
+    ports: int,
+    network_degree: int,
+    num_matrices: int = 2,
+    k: int = 8,
+    seed: Optional[int] = None,
+) -> dict:
+    """Full-line-rate feasibility of one Jellyfish (decision LP + screens).
+
+    Exercises the throughput harness's shared path-set / LP-structure state
+    across ``num_matrices`` permutation matrices on a single topology — the
+    warm regime of the fig02c binary search.
+    """
+    rng = ensure_rng(seed)
+    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    value = supports_full_throughput(
+        topology, num_matrices=num_matrices, engine="path", k=k, rng=rng
+    )
+    return {"supports_full_throughput": bool(value)}

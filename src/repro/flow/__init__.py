@@ -2,7 +2,12 @@
 
 from repro.flow.maxmin import FlowSpec, max_min_fair_allocation
 from repro.flow.mcf import max_concurrent_flow_edge_lp
-from repro.flow.path_lp import max_concurrent_flow_path_lp
+from repro.flow.path_lp import (
+    PathLPStructure,
+    clear_shared_lp_structures,
+    max_concurrent_flow_path_lp,
+    shared_path_lp_structure,
+)
 from repro.flow.throughput import (
     ThroughputResult,
     max_servers_at_full_throughput,
@@ -15,6 +20,9 @@ __all__ = [
     "max_min_fair_allocation",
     "max_concurrent_flow_edge_lp",
     "max_concurrent_flow_path_lp",
+    "PathLPStructure",
+    "shared_path_lp_structure",
+    "clear_shared_lp_structures",
     "ThroughputResult",
     "max_servers_at_full_throughput",
     "normalized_throughput",

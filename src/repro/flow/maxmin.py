@@ -5,12 +5,23 @@ subflows, each pinned to a single path, share link capacities fairly.  The
 allocation is computed by progressive filling -- all unfrozen subflow rates
 rise together until a link saturates (its subflows freeze) or a flow reaches
 its aggregate demand cap (all of its subflows freeze).
+
+The filling rounds run as a vectorized kernel: subflow->link membership is
+encoded once as a sparse CSR incidence matrix, and each round's live-claimant
+counts, uniform increment, residual updates and saturation masks are numpy /
+scipy matvecs instead of per-link Python set scans.  Freezing semantics are
+bit-for-bit identical to the pre-vectorized implementation, which is retained
+as :func:`repro.flow._reference.max_min_fair_allocation_reference` and pinned
+by the hypothesis parity suite in ``tests/test_flow_parity.py``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.sparse import csr_matrix
 
 Path = Tuple[Hashable, ...]
 DirectedLink = Tuple[Hashable, Hashable]
@@ -71,7 +82,8 @@ def max_min_fair_allocation(
     when a link on their path saturates, when their own cap is reached, or
     when the aggregate flow demand is met.
     """
-    # Subflow bookkeeping.
+    # Subflow bookkeeping (dict pass kept identical to the reference, so
+    # duplicate flow ids and repeated (flow, index) keys resolve the same).
     subflow_paths: Dict[Tuple[Hashable, int], List[DirectedLink]] = {}
     subflow_cap: Dict[Tuple[Hashable, int], float] = {}
     flow_of: Dict[Tuple[Hashable, int], Hashable] = {}
@@ -89,53 +101,94 @@ def max_min_fair_allocation(
             else:
                 subflow_cap[key] = flow.demand
 
-    rates: Dict[Tuple[Hashable, int], float] = {key: 0.0 for key in subflow_paths}
-    active = {key for key, links in subflow_paths.items() if links}
-    # Subflows whose path is empty (same-switch traffic) get their cap outright.
-    for key, links in subflow_paths.items():
+    keys = list(subflow_paths)
+    num_subflows = len(keys)
+    flow_ids = list(flow_demand)
+    flow_pos = {flow_id: i for i, flow_id in enumerate(flow_ids)}
+    num_flows = len(flow_ids)
+
+    # Scalar-initialized rates: zero-hop subflows (same-switch traffic) get
+    # their cap outright; the accumulation into per-flow totals runs in key
+    # order with Python float adds, matching the reference bit-for-bit.
+    initial_rates = []
+    initial_flow_rate = [0.0] * num_flows
+    for key in keys:
+        if subflow_paths[key]:
+            rate = 0.0
+        else:
+            rate = min(subflow_cap[key], flow_demand[flow_of[key]])
+        initial_rates.append(rate)
+    for j, key in enumerate(keys):
+        initial_flow_rate[flow_pos[flow_of[key]]] += initial_rates[j]
+
+    # Encode subflow->link membership as COO triplets; the claimant matrix is
+    # binary (a subflow claims each link of its path once, however many times
+    # the path traverses it -- same as the reference's per-link sets).
+    link_pos: Dict[DirectedLink, int] = {}
+    residual_list: List[float] = []
+    coo_rows: List[int] = []
+    coo_cols: List[int] = []
+    for j, key in enumerate(keys):
+        links = subflow_paths[key]
         if not links:
-            rates[key] = min(subflow_cap[key], flow_demand[flow_of[key]])
+            continue
+        seen_here = set()
+        for link in links:
+            lid = link_pos.get(link)
+            if lid is None:
+                lid = link_pos[link] = len(residual_list)
+                residual_list.append(link_capacity.get(link, default_capacity))
+            if lid not in seen_here:
+                seen_here.add(lid)
+                coo_rows.append(lid)
+                coo_cols.append(j)
+    num_links = len(residual_list)
 
-    residual: Dict[DirectedLink, float] = {}
-    claimants: Dict[DirectedLink, set] = {}
-    for key in active:
-        for link in subflow_paths[key]:
-            residual.setdefault(link, link_capacity.get(link, default_capacity))
-            claimants.setdefault(link, set()).add(key)
+    rates = np.asarray(initial_rates, dtype=np.float64)
+    flow_rate = np.asarray(initial_flow_rate, dtype=np.float64)
+    caps = np.asarray([subflow_cap[key] for key in keys], dtype=np.float64)
+    demands = np.asarray([flow_demand[f] for f in flow_ids], dtype=np.float64)
+    subflow_flow = np.asarray(
+        [flow_pos[flow_of[key]] for key in keys], dtype=np.intp
+    )
+    residual = np.asarray(residual_list, dtype=np.float64)
+    active = np.asarray([bool(subflow_paths[key]) for key in keys], dtype=bool)
 
-    flow_rate: Dict[Hashable, float] = {flow.flow_id: 0.0 for flow in flows}
-    for key, rate in rates.items():
-        flow_rate[flow_of[key]] += rate
+    if num_links:
+        membership = csr_matrix(
+            (
+                np.ones(len(coo_rows), dtype=np.float64),
+                (np.asarray(coo_rows), np.asarray(coo_cols)),
+            ),
+            shape=(num_links, num_subflows),
+        )
+        membership_t = membership.T.tocsr()
+    else:
+        membership = membership_t = None
 
-    def freeze(key: Tuple[Hashable, int]) -> None:
-        active.discard(key)
-        for link in subflow_paths[key]:
-            claimants[link].discard(key)
-
-    while active:
+    while active.any():
+        active_f = active.astype(np.float64)
         # Largest uniform increment permitted by links, subflow caps and
-        # aggregate flow demands.
+        # aggregate flow demands (min over the same candidate set as the
+        # reference; min is order-independent).
         increment = None
+        if membership is not None:
+            live = membership @ active_f
+            contested = live > 0.0
+            if contested.any():
+                increment = float(np.min(residual[contested] / live[contested]))
 
-        for link, users in claimants.items():
-            live = [u for u in users if u in active]
-            if not live:
-                continue
-            candidate = residual[link] / len(live)
+        counts = np.bincount(subflow_flow[active], minlength=num_flows)
+        headroom = caps[active] - rates[active]
+        if headroom.size:
+            candidate = float(headroom.min())
             if increment is None or candidate < increment:
                 increment = candidate
-
-        active_per_flow: Dict[Hashable, int] = {}
-        for key in active:
-            active_per_flow[flow_of[key]] = active_per_flow.get(flow_of[key], 0) + 1
-
-        for key in active:
-            candidate = subflow_cap[key] - rates[key]
-            if increment is None or candidate < increment:
-                increment = candidate
-        for flow_id, count in active_per_flow.items():
-            remaining = flow_demand[flow_id] - flow_rate[flow_id]
-            candidate = remaining / count
+        claiming = counts > 0
+        if claiming.any():
+            candidate = float(
+                np.min((demands[claiming] - flow_rate[claiming]) / counts[claiming])
+            )
             if increment is None or candidate < increment:
                 increment = candidate
 
@@ -143,33 +196,41 @@ def max_min_fair_allocation(
             break
         increment = max(increment, 0.0)
 
-        # Apply the increment.
-        for key in list(active):
-            rates[key] += increment
-            flow_rate[flow_of[key]] += increment
-        for link in residual:
-            live = sum(1 for u in claimants[link] if u in active)
-            residual[link] -= increment * live
+        # Apply the increment.  Per-flow totals grow by one addition per
+        # active subflow (not count * increment), replicating the reference's
+        # sequential accumulation exactly.
+        rates[active] += increment
+        for step in range(int(counts.max()) if counts.size else 0):
+            flow_rate[counts > step] += increment
+        if membership is not None:
+            residual -= increment * live
 
         # Freeze saturated claimants.
-        newly_frozen = set()
-        for link, users in claimants.items():
-            if residual[link] <= epsilon:
-                newly_frozen.update(u for u in users if u in active)
-        for key in list(active):
-            if rates[key] >= subflow_cap[key] - epsilon:
-                newly_frozen.add(key)
-            elif flow_rate[flow_of[key]] >= flow_demand[flow_of[key]] - epsilon:
-                newly_frozen.add(key)
-        if not newly_frozen and increment <= epsilon:
+        newly_frozen = np.zeros(num_subflows, dtype=bool)
+        if membership is not None:
+            saturated = residual <= epsilon
+            if saturated.any():
+                touched = (membership_t @ saturated.astype(np.float64)) > 0.0
+                newly_frozen |= active & touched
+        newly_frozen |= active & (rates >= caps - epsilon)
+        newly_frozen |= active & (flow_rate >= demands - epsilon)[subflow_flow]
+        if not newly_frozen.any() and increment <= epsilon:
             # No progress possible; avoid an infinite loop.
             break
-        for key in newly_frozen:
-            freeze(key)
+        active &= ~newly_frozen
 
+    # Final accounting mirrors the reference's scalar passes (Python float
+    # adds in key order, one add per link traversal) so load bookkeeping is
+    # bit-identical even for paths that revisit a link.
+    rate_of = {key: float(rates[j]) for j, key in enumerate(keys)}
     link_loads: Dict[DirectedLink, float] = {}
-    for key, rate in rates.items():
+    for key, rate in rate_of.items():
         for link in subflow_paths[key]:
             link_loads[link] = link_loads.get(link, 0.0) + rate
+    flow_rate_of = {
+        flow_id: float(flow_rate[i]) for i, flow_id in enumerate(flow_ids)
+    }
 
-    return Allocation(flow_rates=flow_rate, subflow_rates=rates, link_loads=link_loads)
+    return Allocation(
+        flow_rates=flow_rate_of, subflow_rates=rate_of, link_loads=link_loads
+    )

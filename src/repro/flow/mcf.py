@@ -16,6 +16,11 @@ Formulation (source-aggregated multi-commodity flow):
   ``outflow - inflow = theta * total_demand(s)`` for ``v == s``;
 * capacity: ``sum_s f[s, a] <= capacity(a)``;
 * objective: maximize ``theta``.
+
+Constraint matrices are assembled as vectorized COO triplets (one broadcast
+per block, no per-cell writes); the resulting canonical CSR is identical to
+the historical ``lil_matrix`` assembly retained in
+:mod:`repro.flow._reference`, so HiGHS sees the same problem bit-for-bit.
 """
 
 from __future__ import annotations
@@ -24,7 +29,7 @@ from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import lil_matrix
+from scipy.sparse import csr_matrix
 
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix
@@ -44,22 +49,15 @@ def _directed_arcs(topology: Topology) -> List[Tuple[Hashable, Hashable, float]]
     return arcs
 
 
-def max_concurrent_flow_edge_lp(
-    topology: Topology, traffic: TrafficMatrix
-) -> float:
-    """Return the optimal concurrent-flow scaling factor ``theta``.
+def _assemble_edge_lp(topology: Topology, demands: Dict) -> tuple:
+    """Vectorized COO assembly of the edge LP.
 
-    ``theta >= 1`` means the topology supports the full traffic matrix at
-    line rate under ideal (splittable, fluid) routing.
+    Returns ``(a_eq, b_eq, a_ub, b_ub, num_vars)`` with canonical CSR
+    matrices equal to the reference ``lil_matrix`` assembly.
     """
-    demands = traffic.switch_pairs()
-    if not demands:
-        return float("inf")
-
     arcs = _directed_arcs(topology)
     if not arcs:
         raise FlowSolverError("topology has no links but traffic crosses switches")
-    arc_index = {(u, v): i for i, (u, v, _) in enumerate(arcs)}
     nodes = list(topology.graph.nodes)
     node_index = {node: i for i, node in enumerate(nodes)}
 
@@ -74,56 +72,91 @@ def max_concurrent_flow_edge_lp(
     theta_var = num_flow_vars
     num_vars = num_flow_vars + 1
 
-    def var(source: Hashable, arc: int) -> int:
-        return source_index[source] * num_arcs + arc
+    arc_u = np.asarray([node_index[u] for u, _, _ in arcs], dtype=np.int64)
+    arc_v = np.asarray([node_index[v] for _, v, _ in arcs], dtype=np.int64)
+    arc_caps = np.asarray([capacity for _, _, capacity in arcs], dtype=np.float64)
+    source_offsets = np.arange(num_sources, dtype=np.int64)
 
-    # Demand bookkeeping per source.
-    demand_to: Dict[Hashable, Dict[Hashable, float]] = {s: {} for s in sources}
-    total_from: Dict[Hashable, float] = {s: 0.0 for s in sources}
+    # Conservation entries: for each (source block, arc) column, -1 at the
+    # arc's tail row and +1 at its head row.
+    columns = (
+        source_offsets[:, None] * num_arcs + np.arange(num_arcs, dtype=np.int64)
+    ).ravel()
+    tail_rows = (source_offsets[:, None] * num_nodes + arc_u[None, :]).ravel()
+    head_rows = (source_offsets[:, None] * num_nodes + arc_v[None, :]).ravel()
+
+    # Theta column: +total_demand(s) at (s, s), -demand(s, node) elsewhere.
+    # Only nonzero entries are materialized, matching lil (which drops
+    # explicit zero writes).
+    theta_values = np.zeros((num_sources, num_nodes), dtype=np.float64)
+    totals: Dict[Hashable, float] = {s: 0.0 for s in sources}
     for (src, dst), rate in demands.items():
-        demand_to[src][dst] = demand_to[src].get(dst, 0.0) + rate
-        total_from[src] += rate
+        theta_values[source_index[src], node_index[dst]] -= rate
+        totals[src] += rate
+    for src in sources:
+        theta_values[source_index[src], node_index[src]] = totals[src]
+    theta_rows = np.flatnonzero(theta_values.ravel())
+    theta_data = theta_values.ravel()[theta_rows]
 
-    # Equality constraints: conservation for every (source group, node).
-    num_eq = num_sources * num_nodes
-    a_eq = lil_matrix((num_eq, num_vars))
-    b_eq = np.zeros(num_eq)
-    for s in sources:
-        base = source_index[s] * num_nodes
-        for arc_id, (u, v, _) in enumerate(arcs):
-            column = var(s, arc_id)
-            # Arc u -> v: outflow at u, inflow at v.
-            a_eq[base + node_index[u], column] -= 1.0
-            a_eq[base + node_index[v], column] += 1.0
-        for node in nodes:
-            row = base + node_index[node]
-            if node == s:
-                # outflow - inflow = theta * total  ->  (in - out) + theta*total = 0
-                a_eq[row, theta_var] = total_from[s]
-            else:
-                # inflow - outflow = theta * demand(s, node)
-                a_eq[row, theta_var] = -demand_to[s].get(node, 0.0)
+    a_eq = csr_matrix(
+        (
+            np.concatenate(
+                (
+                    np.full(len(columns), -1.0),
+                    np.full(len(columns), 1.0),
+                    theta_data,
+                )
+            ),
+            (
+                np.concatenate((tail_rows, head_rows, theta_rows)),
+                np.concatenate(
+                    (columns, columns, np.full(len(theta_rows), theta_var))
+                ),
+            ),
+        ),
+        shape=(num_sources * num_nodes, num_vars),
+    )
+    b_eq = np.zeros(num_sources * num_nodes)
 
-    # Inequality constraints: capacity per arc.
-    a_ub = lil_matrix((num_arcs, num_vars))
-    b_ub = np.zeros(num_arcs)
-    for arc_id, (_, _, capacity) in enumerate(arcs):
-        for s in sources:
-            a_ub[arc_id, var(s, arc_id)] = 1.0
-        b_ub[arc_id] = capacity
+    # Capacity rows: one 1.0 per (arc row, f[s, arc] column).
+    a_ub = csr_matrix(
+        (
+            np.ones(num_flow_vars),
+            (
+                np.tile(np.arange(num_arcs, dtype=np.int64), num_sources),
+                columns,
+            ),
+        ),
+        shape=(num_arcs, num_vars),
+    )
+    return a_eq, b_eq, a_ub, arc_caps, num_vars
 
+
+def max_concurrent_flow_edge_lp(
+    topology: Topology, traffic: TrafficMatrix
+) -> float:
+    """Return the optimal concurrent-flow scaling factor ``theta``.
+
+    ``theta >= 1`` means the topology supports the full traffic matrix at
+    line rate under ideal (splittable, fluid) routing.
+    """
+    demands = traffic.switch_pairs()
+    if not demands:
+        return float("inf")
+
+    a_eq, b_eq, a_ub, b_ub, num_vars = _assemble_edge_lp(topology, demands)
     objective = np.zeros(num_vars)
-    objective[theta_var] = -1.0  # maximize theta
+    objective[num_vars - 1] = -1.0  # maximize theta
 
     result = linprog(
         objective,
-        A_ub=a_ub.tocsr(),
+        A_ub=a_ub,
         b_ub=b_ub,
-        A_eq=a_eq.tocsr(),
+        A_eq=a_eq,
         b_eq=b_eq,
-        bounds=[(0, None)] * num_vars,
+        bounds=(0, None),
         method="highs",
     )
     if not result.success:
         raise FlowSolverError(f"LP solver failed: {result.message}")
-    return float(result.x[theta_var])
+    return float(result.x[num_vars - 1])

@@ -11,20 +11,232 @@ Formulation: variable ``x[p]`` is the flow on path ``p``; ``theta`` the
 concurrent-flow factor.  For every pair: ``sum_{p in P(pair)} x[p] =
 theta * demand(pair)``; for every directed arc: ``sum_{p using arc} x[p] <=
 capacity``; maximize ``theta``.
+
+The LP splits into demand-independent structure and per-matrix demand rows.
+:class:`PathLPStructure` owns the structure — directed arcs, capacities and
+per-pair path→arc column blocks — and assembles each matrix's constraint
+matrices from vectorized COO triplets (no ``lil_matrix``, no per-cell
+writes).  Structures are cached in a small LRU keyed by the graph's CSR
+``content_hash`` (the same content-addressing as the engine's result
+cache), so a throughput sweep that probes one topology against several
+traffic matrices only rebuilds the theta column per matrix.  The historical
+cell-by-cell assembly is retained in :mod:`repro.flow._reference`; the
+canonical CSR matrices produced here are identical to it bit-for-bit.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional, Tuple
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
-from scipy.sparse import lil_matrix
+from scipy.sparse import csr_matrix
 
 from repro.flow.mcf import FlowSolverError, _directed_arcs
-from repro.routing.paths import PathSet, build_path_set
+from repro.graphs.csr import csr_graph
+from repro.routing.paths import PathSet, shared_path_set
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix
+
+#: Content-hash-keyed LRU of demand-independent LP structures.
+_SHARED_STRUCTURES: "OrderedDict[Tuple[str, str, int], PathLPStructure]" = OrderedDict()
+_SHARED_STRUCTURE_MAX = 8
+
+
+class PathLPStructure:
+    """Demand-independent blocks of the path LP for one topology.
+
+    Holds the directed-arc enumeration, the capacity vector (``b_ub``), and
+    a lazily grown per-pair cache of path→arc incidence triplets.  Only the
+    equality rows' theta column depends on the traffic matrix, so repeated
+    solves over one topology reuse everything else.
+    """
+
+    def __init__(self, topology: Topology, scheme: str = "ksp", k: int = 8):
+        self.scheme = scheme
+        self.k = k
+        self.arcs = _directed_arcs(topology)
+        self.num_arcs = len(self.arcs)
+        self.arc_index = {(u, v): i for i, (u, v, _) in enumerate(self.arcs)}
+        self.capacities = np.asarray(
+            [capacity for (_, _, capacity) in self.arcs], dtype=np.float64
+        )
+        # pair -> (num_paths, arc row ids, column ids local to the pair block)
+        self._pair_blocks: Dict[Tuple, Tuple[int, np.ndarray, np.ndarray]] = {}
+
+    def matches(self, topology: Topology) -> bool:
+        """True if this structure still describes ``topology``'s arcs exactly.
+
+        Guards the content-hash cache against the (contrived) case of two
+        graphs with equal adjacency hash but different edge iteration order
+        or capacities — arc order defines LP row order, which must match.
+        """
+        return self.arcs == _directed_arcs(topology)
+
+    def _pair_block(
+        self, pair: Tuple, path_set: PathSet
+    ) -> Tuple[int, np.ndarray, np.ndarray]:
+        block = self._pair_blocks.get(pair)
+        if block is None:
+            options = path_set.get(pair)
+            if not options:
+                raise FlowSolverError(f"no candidate path for demanded pair {pair!r}")
+            arc_index = self.arc_index
+            rows = [
+                arc_index[(u, v)]
+                for path in options
+                for u, v in zip(path, path[1:])
+            ]
+            cols = [
+                column
+                for column, path in enumerate(options)
+                for _ in range(len(path) - 1)
+            ]
+            block = (
+                len(options),
+                np.asarray(rows, dtype=np.int64),
+                np.asarray(cols, dtype=np.int64),
+            )
+            self._pair_blocks[pair] = block
+        return block
+
+    def assemble(self, demands: Dict, path_set: PathSet) -> tuple:
+        """Vectorized COO assembly for one traffic matrix.
+
+        Returns ``(a_eq, b_eq, a_ub, b_ub, num_vars)``; the matrices are
+        canonical CSR, equal to the reference ``lil_matrix`` assembly.
+        """
+        pairs = list(demands)
+        num_pairs = len(pairs)
+        counts = np.empty(num_pairs, dtype=np.int64)
+        row_parts = []
+        col_parts = []
+        offset = 0
+        for i, pair in enumerate(pairs):
+            num_paths, rows, cols = self._pair_block(pair, path_set)
+            counts[i] = num_paths
+            row_parts.append(rows)
+            col_parts.append(cols + offset)
+            offset += num_paths
+        num_path_vars = int(offset)
+        theta_var = num_path_vars
+        num_vars = num_path_vars + 1
+
+        # Equality rows: one 1.0 per path variable in its pair's row, plus
+        # the theta column (-demand).  Zero demands are filtered to mirror
+        # lil_matrix, which drops explicit zero writes.
+        theta_data = np.asarray([-demands[pair] for pair in pairs], dtype=np.float64)
+        theta_rows = np.arange(num_pairs, dtype=np.int64)
+        nonzero = theta_data != 0.0
+        a_eq = csr_matrix(
+            (
+                np.concatenate((np.ones(num_path_vars), theta_data[nonzero])),
+                (
+                    np.concatenate(
+                        (np.repeat(theta_rows, counts), theta_rows[nonzero])
+                    ),
+                    np.concatenate(
+                        (
+                            np.arange(num_path_vars, dtype=np.int64),
+                            np.full(int(nonzero.sum()), theta_var, dtype=np.int64),
+                        )
+                    ),
+                ),
+            ),
+            shape=(num_pairs, num_vars),
+        )
+        b_eq = np.zeros(num_pairs)
+
+        # Capacity rows: one 1.0 per (arc on path, path variable); duplicate
+        # traversals sum on conversion to canonical CSR.
+        if row_parts:
+            ub_rows = np.concatenate(row_parts)
+            ub_cols = np.concatenate(col_parts)
+        else:
+            ub_rows = np.empty(0, dtype=np.int64)
+            ub_cols = np.empty(0, dtype=np.int64)
+        a_ub = csr_matrix(
+            (np.ones(len(ub_rows)), (ub_rows, ub_cols)),
+            shape=(self.num_arcs, num_vars),
+        )
+        return a_eq, b_eq, a_ub, self.capacities, num_vars
+
+    def _solve_assembled(self, assembled: tuple, method: str):
+        a_eq, b_eq, a_ub, b_ub, num_vars = assembled
+        objective = np.zeros(num_vars)
+        objective[num_vars - 1] = -1.0
+        return linprog(
+            objective,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=(0, None),
+            method=method,
+        )
+
+    def solve(self, demands: Dict, path_set: PathSet) -> float:
+        """Concurrent-flow factor theta for one traffic matrix."""
+        assembled = self.assemble(demands, path_set)
+        result = self._solve_assembled(assembled, "highs")
+        if not result.success:
+            raise FlowSolverError(f"LP solver failed: {result.message}")
+        return float(result.x[assembled[-1] - 1])
+
+    def solve_decision(
+        self, demands: Dict, path_set: PathSet, guard: float = 1e-6
+    ) -> float:
+        """Theta for callers that only consume the ``theta >= 1`` decision.
+
+        The LP's optimal value is unique, so any solver that reaches
+        optimality yields the same decision whenever theta is farther than
+        solver noise from the threshold.  This first runs HiGHS's
+        interior-point method (with crossover — roughly 2x faster than the
+        default dual simplex on these degenerate concurrent-flow LPs) and
+        accepts its theta only when it is at least ``guard`` away from 1;
+        inside the guard band — or on any solver failure — it falls back to
+        the exact :meth:`solve` path, so the decision is always the one the
+        pre-refactor implementation produced.
+        """
+        assembled = self.assemble(demands, path_set)
+        result = self._solve_assembled(assembled, "highs-ipm")
+        if result.success:
+            theta = float(result.x[assembled[-1] - 1])
+            if abs(theta - 1.0) >= guard:
+                return theta
+        result = self._solve_assembled(assembled, "highs")
+        if not result.success:
+            raise FlowSolverError(f"LP solver failed: {result.message}")
+        return float(result.x[assembled[-1] - 1])
+
+
+def shared_path_lp_structure(
+    topology: Topology, scheme: str = "ksp", k: int = 8
+) -> PathLPStructure:
+    """Get-or-build the cached :class:`PathLPStructure` for ``topology``.
+
+    Keyed by the graph's CSR ``content_hash`` plus ``(scheme, k)`` and
+    revalidated against the topology's current arcs, so in-place mutations
+    (e.g. failure injection on a copy that shares a hash) never reuse stale
+    structure.
+    """
+    key = (csr_graph(topology.graph).content_hash, scheme, k)
+    structure = _SHARED_STRUCTURES.get(key)
+    if structure is not None and structure.matches(topology):
+        _SHARED_STRUCTURES.move_to_end(key)
+        return structure
+    structure = PathLPStructure(topology, scheme=scheme, k=k)
+    _SHARED_STRUCTURES[key] = structure
+    _SHARED_STRUCTURES.move_to_end(key)
+    while len(_SHARED_STRUCTURES) > _SHARED_STRUCTURE_MAX:
+        _SHARED_STRUCTURES.popitem(last=False)
+    return structure
+
+
+def clear_shared_lp_structures() -> None:
+    """Drop every cached demand-independent LP structure."""
+    _SHARED_STRUCTURES.clear()
 
 
 def max_concurrent_flow_path_lp(
@@ -36,59 +248,18 @@ def max_concurrent_flow_path_lp(
     """Concurrent-flow factor ``theta`` restricted to a candidate path set.
 
     If ``path_set`` is omitted, the k shortest paths for every demanded
-    switch pair are computed on the fly.
+    switch pair come from the shared content-hashed path table
+    (:func:`repro.routing.paths.shared_path_set`) and the LP reuses the
+    topology's cached demand-independent structure, so evaluating several
+    traffic matrices against one topology only rebuilds the demand rows.
     """
     demands = traffic.switch_pairs()
     if not demands:
         return float("inf")
 
     if path_set is None:
-        path_set = build_path_set(topology.graph, list(demands), scheme="ksp", k=k)
-
-    arcs = _directed_arcs(topology)
-    arc_index = {(u, v): i for i, (u, v, _) in enumerate(arcs)}
-
-    # Enumerate path variables.
-    path_vars = []  # (pair, path)
-    for pair in demands:
-        options = path_set.get(pair)
-        if not options:
-            raise FlowSolverError(f"no candidate path for demanded pair {pair!r}")
-        for path in options:
-            path_vars.append((pair, path))
-
-    num_paths = len(path_vars)
-    theta_var = num_paths
-    num_vars = num_paths + 1
-
-    pairs = list(demands)
-    pair_row = {pair: i for i, pair in enumerate(pairs)}
-
-    a_eq = lil_matrix((len(pairs), num_vars))
-    b_eq = np.zeros(len(pairs))
-    for column, (pair, _) in enumerate(path_vars):
-        a_eq[pair_row[pair], column] = 1.0
-    for pair in pairs:
-        a_eq[pair_row[pair], theta_var] = -demands[pair]
-
-    a_ub = lil_matrix((len(arcs), num_vars))
-    b_ub = np.array([capacity for (_, _, capacity) in arcs])
-    for column, (_, path) in enumerate(path_vars):
-        for u, v in zip(path, path[1:]):
-            a_ub[arc_index[(u, v)], column] += 1.0
-
-    objective = np.zeros(num_vars)
-    objective[theta_var] = -1.0
-
-    result = linprog(
-        objective,
-        A_ub=a_ub.tocsr(),
-        b_ub=b_ub,
-        A_eq=a_eq.tocsr(),
-        b_eq=b_eq,
-        bounds=[(0, None)] * num_vars,
-        method="highs",
-    )
-    if not result.success:
-        raise FlowSolverError(f"LP solver failed: {result.message}")
-    return float(result.x[theta_var])
+        structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
+        path_set = shared_path_set(topology.graph, list(demands), scheme="ksp", k=k)
+    else:
+        structure = PathLPStructure(topology, scheme=path_set.kind, k=k)
+    return structure.solve(demands, path_set)

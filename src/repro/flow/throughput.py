@@ -10,6 +10,14 @@ Implements the paper's evaluation methodology (Section 4):
 * :func:`max_servers_at_full_throughput` -- the binary-search procedure used
   for Fig 2(c) and Fig 11: find the largest server count a topology family
   supports at full capacity, then verify with extra matrices.
+
+Throughput state is shared across the harness: the path engine keeps a
+content-hashed table of per-pair routes
+(:func:`repro.routing.paths.shared_path_set`) and the demand-independent LP
+blocks (:func:`repro.flow.path_lp.shared_path_lp_structure`) per topology,
+so checking one topology against several permutation matrices — and every
+probe of the binary search — only rebuilds the demand rows of the LP and
+routes each newly demanded switch pair once.
 """
 
 from __future__ import annotations
@@ -18,10 +26,20 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from repro.flow.mcf import max_concurrent_flow_edge_lp
-from repro.flow.path_lp import max_concurrent_flow_path_lp
+from repro.flow.path_lp import (
+    max_concurrent_flow_path_lp,
+    shared_path_lp_structure,
+)
+from repro.graphs.csr import csr_graph
+from repro.routing.paths import shared_path_set
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
 from repro.utils.rng import RngLike, ensure_rng
+
+#: Bound screens skip the LP only when they prove theta short of full line
+#: rate by at least this margin (comfortably wider than the 1e-9 decision
+#: epsilon, so floating-point noise in a bound can never flip a decision).
+_SCREEN_MARGIN = 1e-6
 
 
 @dataclass(frozen=True)
@@ -71,6 +89,96 @@ def normalized_throughput(
     )
 
 
+def _throughput_upper_bound(topology: Topology, traffic: TrafficMatrix) -> float:
+    """Analytic upper bound on the concurrent-flow factor theta.
+
+    Two sound bounds, both valid for the edge LP and (a fortiori) the
+    path-restricted LP:
+
+    * **switch cut** -- all traffic entering or leaving a switch crosses its
+      incident links, so ``theta <= incident_capacity / demand`` per switch
+      and direction;
+    * **volume** -- a unit of (s, t) flow consumes at least ``hop_dist(s, t)``
+      units of directed arc capacity, so ``theta <= total_arc_capacity /
+      sum(demand * hop_dist)``.
+
+    Returns ``inf`` when no bound applies (e.g. a demanded pair is
+    unreachable, which the LP path handles by raising).
+    """
+    demands = traffic.switch_pairs()
+    if not demands:
+        return float("inf")
+    graph = topology.graph
+
+    out_demand: dict = {}
+    in_demand: dict = {}
+    for (src, dst), rate in demands.items():
+        out_demand[src] = out_demand.get(src, 0.0) + rate
+        in_demand[dst] = in_demand.get(dst, 0.0) + rate
+
+    bound = float("inf")
+    incident_cap: dict = {}
+    for node in set(out_demand) | set(in_demand):
+        capacity = 0.0
+        for _, _, data in graph.edges(node, data=True):
+            capacity += float(data.get("capacity", 1.0))
+        incident_cap[node] = capacity
+    for per_switch in (out_demand, in_demand):
+        for node, demand in per_switch.items():
+            if demand > 0.0:
+                candidate = incident_cap[node] / demand
+                if candidate < bound:
+                    bound = candidate
+
+    csr = csr_graph(graph)
+    sources = sorted({src for src, _ in demands}, key=str)
+    source_row = {src: i for i, src in enumerate(sources)}
+    distances = csr.hop_distance_matrix([csr.index_of[src] for src in sources])
+    total_cost = 0.0
+    for (src, dst), rate in demands.items():
+        hops = int(distances[source_row[src], csr.index_of[dst]])
+        if hops < 0:
+            return float("inf")  # unreachable pair: leave it to the LP path
+        total_cost += rate * hops
+    if total_cost > 0.0:
+        total_capacity = 2.0 * sum(
+            float(data.get("capacity", 1.0))
+            for _, _, data in graph.edges(data=True)
+        )
+        candidate = total_capacity / total_cost
+        if candidate < bound:
+            bound = candidate
+    return bound
+
+
+def _supports_matrix(
+    topology: Topology, traffic: TrafficMatrix, engine: str, k: int
+) -> bool:
+    """Full-line-rate decision for one traffic matrix.
+
+    For the path engine this runs the decision-optimized solve path
+    (:meth:`~repro.flow.path_lp.PathLPStructure.solve_decision`): the
+    analytic bound screens first — a probe they prove infeasible never
+    assembles paths or an LP at all — then the guarded IPM/simplex solve.
+    Decisions are identical to evaluating ``normalized_throughput``.
+    """
+    if len(traffic) == 0:
+        return True
+    if _throughput_upper_bound(topology, traffic) < 1.0 - _SCREEN_MARGIN:
+        return False
+    if engine != "path":
+        return normalized_throughput(
+            topology, traffic, engine=engine, k=k
+        ).supports_full_capacity()
+    demands = traffic.switch_pairs()
+    if not demands:
+        return True
+    structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
+    path_set = shared_path_set(topology.graph, list(demands), scheme="ksp", k=k)
+    theta = structure.solve_decision(demands, path_set)
+    return theta >= 1.0 - 1e-9
+
+
 def supports_full_throughput(
     topology: Topology,
     num_matrices: int = 3,
@@ -88,8 +196,8 @@ def supports_full_throughput(
     if not topology.is_connected():
         return False
     for _ in range(num_matrices):
-        result = normalized_throughput(topology, engine=engine, k=k, rng=rand)
-        if not result.supports_full_capacity():
+        traffic = random_permutation_traffic(topology, rng=rand)
+        if not _supports_matrix(topology, traffic, engine, k):
             return False
     return True
 

@@ -2,7 +2,7 @@
 
 from repro.routing.ecmp import ecmp_paths, ecmp_route_flows
 from repro.routing.ksp import k_shortest_paths
-from repro.routing.paths import PathSet, build_path_set
+from repro.routing.paths import PathSet, build_path_set, shared_path_set
 from repro.routing.diversity import link_path_counts
 
 __all__ = [
@@ -11,5 +11,6 @@ __all__ = [
     "k_shortest_paths",
     "PathSet",
     "build_path_set",
+    "shared_path_set",
     "link_path_counts",
 ]

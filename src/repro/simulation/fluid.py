@@ -27,7 +27,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.flow.maxmin import FlowSpec, max_min_fair_allocation
 from repro.routing.ksp import Path
-from repro.routing.paths import PathSet, build_path_set
+from repro.routing.paths import PathSet, shared_path_set
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
 from repro.utils.rng import RngLike, ensure_rng
@@ -141,7 +141,8 @@ def _build_flow_specs(
 def _allocate_mptcp_sequential(
     specs: List[FlowSpec],
     capacities: Dict[Tuple[Hashable, Hashable], float],
-) -> Dict[Hashable, float]:
+    default_capacity: float = 1.0,
+) -> Tuple[Dict[Hashable, float], Dict[Tuple[Hashable, Hashable], float]]:
     """Allocate MPTCP flows by filling paths in rank order.
 
     MPTCP's coupled congestion controller keeps traffic on the least
@@ -153,6 +154,11 @@ def _allocate_mptcp_sequential(
     paths, sharing whatever capacity previous rounds left behind.  For ECMP
     path sets (all paths equal length) this collapses to a single joint
     max-min round.
+
+    Returns the per-flow rates and the accumulated per-link loads across
+    every round.  ``default_capacity`` is the capacity assumed for links
+    absent from ``capacities``, plumbed through to each round's
+    :func:`max_min_fair_allocation` call.
     """
     remaining_capacity = dict(capacities)
     flow_rate: Dict[Hashable, float] = {spec.flow_id: 0.0 for spec in specs}
@@ -187,15 +193,17 @@ def _allocate_mptcp_sequential(
             )
         if not round_specs:
             break
-        allocation = max_min_fair_allocation(round_specs, remaining_capacity)
+        allocation = max_min_fair_allocation(
+            round_specs, remaining_capacity, default_capacity=default_capacity
+        )
         for flow_id, rate in allocation.flow_rates.items():
             flow_rate[flow_id] += rate
         for link, load in allocation.link_loads.items():
             link_loads[link] = link_loads.get(link, 0.0) + load
             remaining_capacity[link] = max(
-                0.0, remaining_capacity.get(link, 1.0) - load
+                0.0, remaining_capacity.get(link, default_capacity) - load
             )
-    return flow_rate
+    return flow_rate, link_loads
 
 
 def simulate_fluid(
@@ -216,7 +224,10 @@ def simulate_fluid(
 
     pairs = list(traffic.switch_pairs())
     if path_set is None:
-        path_set = build_path_set(
+        # The shared table is content-hashed per graph, so repeated runs over
+        # one topology (fig10's trials, fig13's per-scheme passes) route each
+        # switch pair once instead of once per traffic matrix.
+        path_set = shared_path_set(
             topology.graph, pairs, scheme=config.routing, k=config.k
         )
 
@@ -233,11 +244,11 @@ def simulate_fluid(
             )
             for spec in specs
         ]
-        flow_rates = _allocate_mptcp_sequential(deduplicated, capacities)
+        flow_rates, link_loads = _allocate_mptcp_sequential(deduplicated, capacities)
         throughputs = [
             min(flow_rates.get(spec.flow_id, 0.0) / spec.demand, 1.0) for spec in specs
         ]
-        return FluidResult(flow_throughputs=throughputs)
+        return FluidResult(flow_throughputs=throughputs, link_loads=link_loads)
 
     allocation = max_min_fair_allocation(specs, capacities)
     throughputs = []
