@@ -1,0 +1,104 @@
+"""Micro-benchmarks of the topology layer against the retained references.
+
+``--benchmark-only`` runs these alongside the seed benchmarks; the
+``record_topology.py`` script in this directory turns the same comparisons
+into the committed ``BENCH_topology.json`` trajectory snapshot.
+"""
+
+import random
+
+import pytest
+
+from repro.graphs._reference import (
+    sequential_random_regular_graph_reference,
+    stub_matching_regular_graph_reference,
+)
+from repro.graphs.regular import (
+    sequential_random_regular_graph,
+    stub_matching_regular_graph,
+)
+from repro.topologies.ensemble import EnsembleSpec, generate_cores
+from repro.topologies.jellyfish import JellyfishTopology
+
+NUM_NODES = 300
+DEGREE = 11
+
+
+def test_bench_sequential_rrg_array_native(benchmark):
+    graph = benchmark(
+        sequential_random_regular_graph, NUM_NODES, DEGREE, random.Random(0)
+    )
+    assert graph.number_of_edges() == NUM_NODES * DEGREE // 2
+
+
+def test_bench_sequential_rrg_reference(benchmark):
+    graph = benchmark.pedantic(
+        sequential_random_regular_graph_reference,
+        args=(NUM_NODES, DEGREE),
+        kwargs={"rng": random.Random(0)},
+        iterations=1,
+        rounds=2,
+    )
+    assert graph.number_of_edges() == NUM_NODES * DEGREE // 2
+
+
+def test_bench_stub_matching_vectorized(benchmark):
+    graph = benchmark(
+        stub_matching_regular_graph, NUM_NODES, DEGREE, random.Random(0)
+    )
+    assert graph.number_of_edges() == NUM_NODES * DEGREE // 2
+
+
+def test_bench_stub_matching_reference(benchmark):
+    graph = benchmark.pedantic(
+        stub_matching_regular_graph_reference,
+        args=(NUM_NODES, DEGREE),
+        kwargs={"rng": random.Random(0)},
+        iterations=1,
+        rounds=2,
+    )
+    assert graph.number_of_edges() == NUM_NODES * DEGREE // 2
+
+
+@pytest.fixture(scope="module")
+def expansion_base():
+    return JellyfishTopology.build(NUM_NODES, DEGREE + 3, DEGREE, rng=1)
+
+
+def test_bench_add_switch_incremental(benchmark, expansion_base):
+    def run():
+        topology = expansion_base.copy()
+        topology.add_switch("new", DEGREE + 3, servers=1, rng=random.Random(2))
+        return topology
+
+    topology = benchmark(run)
+    assert topology.num_switches == NUM_NODES + 1
+
+
+def test_bench_add_switch_reference(benchmark, expansion_base):
+    def run():
+        topology = expansion_base.copy()
+        topology._add_switch_reference(
+            "new", DEGREE + 3, servers=1, rng=random.Random(2)
+        )
+        return topology
+
+    topology = benchmark.pedantic(run, iterations=1, rounds=3)
+    assert topology.num_switches == NUM_NODES + 1
+
+
+def test_bench_ensemble_build_stubs(benchmark):
+    spec = EnsembleSpec(
+        num_instances=20,
+        num_switches=120,
+        ports_per_switch=14,
+        network_degree=11,
+        method="stubs",
+        seed=0,
+    )
+
+    def build():
+        return [core for _, core in generate_cores(spec)]
+
+    cores = benchmark(build)
+    assert len(cores) == 20

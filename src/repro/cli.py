@@ -21,6 +21,12 @@ disk::
     jellyfish-repro sweep run fig01 fig02a --workers 4 --seed 7
     jellyfish-repro sweep list
     jellyfish-repro sweep show fig02a --scale paper
+
+Construct and content-hash topologies directly (array-native; no figure)::
+
+    jellyfish-repro topo build --switches 80 --ports 12 --degree 9 --seed 3
+    jellyfish-repro topo ensemble --instances 100 --switches 80 --ports 12 \
+        --degree 9 --method stubs --workers 4
 """
 
 from __future__ import annotations
@@ -192,10 +198,158 @@ def _sweep_main(argv: List[str]) -> int:
     return _sweep_run(args)
 
 
+def build_topo_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro topo",
+        description="Construct, summarize and content-hash topologies (array-native)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--switches", type=int, required=True, help="number of ToR switches (N)"
+    )
+    common.add_argument(
+        "--ports", type=int, required=True, help="ports per switch (k)"
+    )
+    common.add_argument(
+        "--degree", type=int, required=True, help="network ports per switch (r)"
+    )
+    common.add_argument(
+        "--servers-per-switch",
+        type=int,
+        default=None,
+        help="servers per switch (default: k - r)",
+    )
+    common.add_argument(
+        "--method",
+        choices=["sequential", "stubs", "pairing", "networkx"],
+        default="sequential",
+        help="RRG construction: the paper's sequential procedure (default) "
+        "or vectorized stub matching for large batches",
+    )
+    common.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed; the same seed reproduces the same topology",
+    )
+
+    subparsers.add_parser(
+        "build", parents=[common], help="build one topology and print its summary"
+    )
+
+    ensemble_parser = subparsers.add_parser(
+        "ensemble",
+        parents=[common],
+        help="build a seeded batch of topologies and print ensemble statistics",
+    )
+    ensemble_parser.add_argument(
+        "--instances", type=int, default=10, help="number of instances to build"
+    )
+    ensemble_parser.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=0,
+        help="worker processes for sharded generation (0 = serial in-process)",
+    )
+    return parser
+
+
+def _topo_build(args: argparse.Namespace) -> int:
+    from repro.topologies.jellyfish import JellyfishTopology
+
+    topology = JellyfishTopology.build(
+        args.switches,
+        args.ports,
+        args.degree,
+        rng=args.seed,
+        servers_per_switch=args.servers_per_switch,
+        method=args.method,
+    )
+    connected = topology.is_connected()
+    print(
+        f"jellyfish N={args.switches} k={args.ports} r={args.degree} "
+        f"method={args.method} seed={args.seed}"
+    )
+    print(
+        f"  switches {topology.num_switches}  links {topology.num_links}  "
+        f"servers {topology.num_servers}  total ports {topology.total_ports}"
+    )
+    if connected and topology.num_switches >= 2:
+        print(
+            f"  connected True  mean path length "
+            f"{topology.switch_average_path_length():.4f}  "
+            f"diameter {topology.switch_diameter()}"
+        )
+    else:
+        print(f"  connected {connected}")
+    print(f"  content hash {topology.content_hash()}")
+    return 0
+
+
+def _topo_ensemble(args: argparse.Namespace) -> int:
+    from repro.engine.runner import SweepRunner
+    from repro.engine.spec import expand
+    from repro.topologies.ensemble import (
+        EnsembleSpec,
+        ensemble_point_specs,
+        ensemble_summary,
+        summarize_instance_metrics,
+    )
+
+    spec = EnsembleSpec(
+        num_instances=args.instances,
+        num_switches=args.switches,
+        ports_per_switch=args.ports,
+        network_degree=args.degree,
+        servers_per_switch=args.servers_per_switch,
+        method=args.method,
+        seed=args.seed,
+    )
+    if args.workers:
+        runner = SweepRunner(workers=args.workers)
+        metrics = runner.run_values(expand(ensemble_point_specs(spec)))
+        summary = summarize_instance_metrics(metrics)
+    else:
+        summary = ensemble_summary(spec)
+    print(
+        f"ensemble of {summary['num_instances']} x jellyfish "
+        f"N={args.switches} k={args.ports} r={args.degree} "
+        f"method={args.method} seed={args.seed}"
+    )
+    print(
+        f"  connected {summary['connected_instances']}/{summary['num_instances']}  "
+        f"distinct hashes {summary['distinct_hashes']}"
+    )
+    print(
+        f"  mean path length {summary['mean_path_length_mean']:.4f} "
+        f"+/- {summary['mean_path_length_std']:.4f}"
+    )
+    print(
+        f"  diameter {summary['diameter_mean']:.2f} "
+        f"+/- {summary['diameter_std']:.2f}"
+    )
+    return 0
+
+
+def _topo_main(argv: List[str]) -> int:
+    args = build_topo_parser().parse_args(argv)
+    try:
+        if args.command == "build":
+            return _topo_build(args)
+        return _topo_ensemble(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "topo":
+        return _topo_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

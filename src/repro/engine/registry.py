@@ -24,12 +24,18 @@ from repro.engine.runner import SweepRunner
 from repro.engine.spec import ScenarioPoint, ScenarioSpec, expand
 from repro.experiments.common import EXPERIMENTS, ExperimentResult
 
-#: Experiments that define their grids natively through the engine.
+#: Experiments that define their grids natively through the engine.  The
+#: ``*-ens`` entries are the ensemble variants: grids sweeping an instance
+#: axis whose points build independent seeded topologies, so instance counts
+#: shard across workers and cache per instance.
 ENGINE_NATIVE = {
     "fig01": "repro.experiments.fig01_path_length",
     "fig02a": "repro.experiments.fig02a_bisection",
+    "fig02a-ens": "repro.experiments.fig02a_ensemble",
     "fig02b": "repro.experiments.fig02b_equipment_cost",
     "fig05": "repro.experiments.fig05_path_length_scaling",
+    "fig05-ens": "repro.experiments.fig05_ensemble",
+    "fig08-ens": "repro.experiments.fig08_ensemble",
 }
 
 SpecBuilder = Callable[[str, int], List[ScenarioSpec]]

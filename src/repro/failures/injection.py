@@ -5,14 +5,31 @@ the drop in per-server throughput: Jellyfish degrades more gracefully than a
 same-equipment fat-tree, and failing 15% of links costs less than 16% of
 capacity.  A failed random graph is "just another random graph", so the
 degradation is close to proportional.
+
+Two failure interfaces are provided:
+
+* the historical copy-and-remove functions (:func:`fail_random_links`,
+  :func:`fail_random_switches`) that operate on a :class:`Topology`;
+* vectorized mask-based variants over a
+  :class:`~repro.topologies.core.TopologyCore`'s edge arrays
+  (:func:`link_failure_mask` / :func:`fail_random_links_core` and the
+  switch equivalents), used by the ensemble subsystem where hundreds of
+  failed instances are generated without materializing ``networkx``
+  graphs.  For the same seed the mask selects exactly the edges the
+  copy-and-remove path would have removed (the rng draws depend only on
+  the edge count, and core edge order equals ``list(graph.edges)`` order);
+  the parity suite in ``tests/test_topology_core.py`` pins this.
 """
 
 from __future__ import annotations
 
 from typing import Hashable, List, Tuple
 
+import numpy as np
+
 from repro.flow.throughput import normalized_throughput
 from repro.topologies.base import Topology
+from repro.topologies.core import TopologyCore
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_fraction
 
@@ -61,6 +78,71 @@ def fail_random_switches(
         failed.servers.pop(switch, None)
     failed.name = f"{topology.name}+{fraction:.0%}-switch-failures"
     return failed
+
+
+def _sample_failure_mask(count: int, fraction: float, rng: RngLike) -> np.ndarray:
+    """Boolean mask with ``round(fraction * count)`` uniformly sampled slots.
+
+    Draws from the rng exactly like the copy-and-remove paths'
+    ``rand.sample(list(...), m)`` (sampling indices instead of elements
+    consumes the identical stream), which is what makes the mask-based
+    failures select the same links/switches as the historical functions for
+    the same seed.
+    """
+    require_fraction(fraction, "fraction")
+    rand = ensure_rng(rng)
+    mask = np.zeros(count, dtype=bool)
+    num_to_fail = int(round(fraction * count))
+    if num_to_fail:
+        mask[rand.sample(range(count), num_to_fail)] = True
+    return mask
+
+
+def link_failure_mask(
+    num_links: int, fraction: float, rng: RngLike = None
+) -> np.ndarray:
+    """Boolean failure mask over a core's edge array.
+
+    For the same seed the masked edges are the ones
+    :func:`fail_random_links` would remove.
+    """
+    return _sample_failure_mask(num_links, fraction, rng)
+
+
+def fail_random_links_core(
+    core: TopologyCore, fraction: float, rng: RngLike = None
+) -> TopologyCore:
+    """Mask-based link failure over a :class:`TopologyCore` (vectorized).
+
+    Returns a new core with a random ``fraction`` of links removed; the
+    surviving adjacency keeps its order, and the removed edge set matches
+    :func:`fail_random_links` for the same seed.
+    """
+    mask = link_failure_mask(core.num_edges, fraction, rng)
+    return core.without_edges(mask)
+
+
+def switch_failure_mask(
+    num_switches: int, fraction: float, rng: RngLike = None
+) -> np.ndarray:
+    """Boolean switch-failure mask aligned with a core's label order.
+
+    For the same seed the masked switches are the ones
+    :func:`fail_random_switches` would remove.
+    """
+    return _sample_failure_mask(num_switches, fraction, rng)
+
+
+def fail_random_switches_core(
+    core: TopologyCore, fraction: float, rng: RngLike = None
+) -> TopologyCore:
+    """Mask-based switch failure over a :class:`TopologyCore`.
+
+    Failed switches disappear along with their links and attached servers,
+    matching :func:`fail_random_switches` for the same seed.
+    """
+    mask = switch_failure_mask(core.num_nodes, fraction, rng)
+    return core.without_nodes(mask)
 
 
 def throughput_under_link_failures(

@@ -101,11 +101,16 @@ class PathLPStructure:
             self._pair_blocks[pair] = block
         return block
 
-    def assemble(self, demands: Dict, path_set: PathSet) -> tuple:
+    def assemble(
+        self, demands: Dict, path_set: PathSet, rates: Optional[np.ndarray] = None
+    ) -> tuple:
         """Vectorized COO assembly for one traffic matrix.
 
         Returns ``(a_eq, b_eq, a_ub, b_ub, num_vars)``; the matrices are
         canonical CSR, equal to the reference ``lil_matrix`` assembly.
+        ``rates``, when given, must hold ``demands``' values in key order
+        (the cached :meth:`~repro.traffic.matrices.TrafficMatrix.as_switch_array`
+        form) and skips the per-pair dict walk for the theta column.
         """
         pairs = list(demands)
         num_pairs = len(pairs)
@@ -126,7 +131,12 @@ class PathLPStructure:
         # Equality rows: one 1.0 per path variable in its pair's row, plus
         # the theta column (-demand).  Zero demands are filtered to mirror
         # lil_matrix, which drops explicit zero writes.
-        theta_data = np.asarray([-demands[pair] for pair in pairs], dtype=np.float64)
+        if rates is not None:
+            theta_data = -np.asarray(rates, dtype=np.float64)
+        else:
+            theta_data = np.asarray(
+                [-demands[pair] for pair in pairs], dtype=np.float64
+            )
         theta_rows = np.arange(num_pairs, dtype=np.int64)
         nonzero = theta_data != 0.0
         a_eq = csr_matrix(
@@ -176,16 +186,22 @@ class PathLPStructure:
             method=method,
         )
 
-    def solve(self, demands: Dict, path_set: PathSet) -> float:
+    def solve(
+        self, demands: Dict, path_set: PathSet, rates: Optional[np.ndarray] = None
+    ) -> float:
         """Concurrent-flow factor theta for one traffic matrix."""
-        assembled = self.assemble(demands, path_set)
+        assembled = self.assemble(demands, path_set, rates)
         result = self._solve_assembled(assembled, "highs")
         if not result.success:
             raise FlowSolverError(f"LP solver failed: {result.message}")
         return float(result.x[assembled[-1] - 1])
 
     def solve_decision(
-        self, demands: Dict, path_set: PathSet, guard: float = 1e-6
+        self,
+        demands: Dict,
+        path_set: PathSet,
+        guard: float = 1e-6,
+        rates: Optional[np.ndarray] = None,
     ) -> float:
         """Theta for callers that only consume the ``theta >= 1`` decision.
 
@@ -199,7 +215,7 @@ class PathLPStructure:
         the exact :meth:`solve` path, so the decision is always the one the
         pre-refactor implementation produced.
         """
-        assembled = self.assemble(demands, path_set)
+        assembled = self.assemble(demands, path_set, rates)
         result = self._solve_assembled(assembled, "highs-ipm")
         if result.success:
             theta = float(result.x[assembled[-1] - 1])
@@ -257,9 +273,10 @@ def max_concurrent_flow_path_lp(
     if not demands:
         return float("inf")
 
+    arrays = traffic.as_switch_array(csr_graph(topology.graph).index_of)
     if path_set is None:
         structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
-        path_set = shared_path_set(topology.graph, list(demands), scheme="ksp", k=k)
+        path_set = shared_path_set(topology.graph, arrays.pairs, scheme="ksp", k=k)
     else:
         structure = PathLPStructure(topology, scheme=path_set.kind, k=k)
-    return structure.solve(demands, path_set)
+    return structure.solve(demands, path_set, rates=arrays.rates)

@@ -25,6 +25,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional
 
+import numpy as np
+
 from repro.flow.mcf import max_concurrent_flow_edge_lp
 from repro.flow.path_lp import (
     max_concurrent_flow_path_lp,
@@ -105,41 +107,42 @@ def _throughput_upper_bound(topology: Topology, traffic: TrafficMatrix) -> float
     Returns ``inf`` when no bound applies (e.g. a demanded pair is
     unreachable, which the LP path handles by raising).
     """
-    demands = traffic.switch_pairs()
-    if not demands:
+    if not traffic.switch_pairs():
         return float("inf")
     graph = topology.graph
+    csr = csr_graph(graph)
+    arrays = traffic.as_switch_array(csr.index_of)
 
-    out_demand: dict = {}
-    in_demand: dict = {}
-    for (src, dst), rate in demands.items():
-        out_demand[src] = out_demand.get(src, 0.0) + rate
-        in_demand[dst] = in_demand.get(dst, 0.0) + rate
+    # Per-switch in/out demand via bincount: bins accumulate in demand
+    # order, the same float-add sequence as the dict walk it replaces.
+    num_nodes = csr.num_nodes
+    out_demand = np.bincount(arrays.src, weights=arrays.rates, minlength=num_nodes)
+    in_demand = np.bincount(arrays.dst, weights=arrays.rates, minlength=num_nodes)
+    active = np.flatnonzero((out_demand > 0.0) | (in_demand > 0.0))
 
     bound = float("inf")
-    incident_cap: dict = {}
-    for node in set(out_demand) | set(in_demand):
+    incident_cap = np.empty(len(active), dtype=np.float64)
+    for position, index in enumerate(active.tolist()):
         capacity = 0.0
-        for _, _, data in graph.edges(node, data=True):
+        for _, _, data in graph.edges(csr.nodes[index], data=True):
             capacity += float(data.get("capacity", 1.0))
-        incident_cap[node] = capacity
+        incident_cap[position] = capacity
     for per_switch in (out_demand, in_demand):
-        for node, demand in per_switch.items():
-            if demand > 0.0:
-                candidate = incident_cap[node] / demand
-                if candidate < bound:
-                    bound = candidate
+        demanded = per_switch[active]
+        positive = demanded > 0.0
+        if positive.any():
+            candidate = float(np.min(incident_cap[positive] / demanded[positive]))
+            if candidate < bound:
+                bound = candidate
 
-    csr = csr_graph(graph)
-    sources = sorted({src for src, _ in demands}, key=str)
-    source_row = {src: i for i, src in enumerate(sources)}
-    distances = csr.hop_distance_matrix([csr.index_of[src] for src in sources])
-    total_cost = 0.0
-    for (src, dst), rate in demands.items():
-        hops = int(distances[source_row[src], csr.index_of[dst]])
-        if hops < 0:
-            return float("inf")  # unreachable pair: leave it to the LP path
-        total_cost += rate * hops
+    unique_sources, inverse = np.unique(arrays.src, return_inverse=True)
+    distances = csr.hop_distance_matrix(unique_sources.tolist())
+    hops = distances[inverse, arrays.dst]
+    if (hops < 0).any():
+        return float("inf")  # unreachable pair: leave it to the LP path
+    # Sequential sum in demand order keeps the bound bit-identical to the
+    # historical scalar accumulation (numpy's pairwise sum would not).
+    total_cost = sum((arrays.rates * hops).tolist())
     if total_cost > 0.0:
         total_capacity = 2.0 * sum(
             float(data.get("capacity", 1.0))
@@ -173,9 +176,10 @@ def _supports_matrix(
     demands = traffic.switch_pairs()
     if not demands:
         return True
+    arrays = traffic.as_switch_array(csr_graph(topology.graph).index_of)
     structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
-    path_set = shared_path_set(topology.graph, list(demands), scheme="ksp", k=k)
-    theta = structure.solve_decision(demands, path_set)
+    path_set = shared_path_set(topology.graph, arrays.pairs, scheme="ksp", k=k)
+    theta = structure.solve_decision(demands, path_set, rates=arrays.rates)
     return theta >= 1.0 - 1e-9
 
 

@@ -165,6 +165,9 @@ class CSRGraph:
             fingerprint if fingerprint is not None else _graph_fingerprint(graph)
         )
         self._content_hash: Optional[str] = None
+        self._init_caches()
+
+    def _init_caches(self) -> None:
         self._adj_lists: Optional[List[List[int]]] = None
         self._edge_src: Optional[np.ndarray] = None
         self._dist_rows: Dict[int, np.ndarray] = {}
@@ -178,6 +181,39 @@ class CSRGraph:
         self._seen: Optional[List[int]] = None
         self._parent: Optional[List[int]] = None
         self._stamp = 0
+
+    @classmethod
+    def from_arrays(
+        cls,
+        nodes: List[Hashable],
+        index_of: Dict[Hashable, int],
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        fingerprint=None,
+    ) -> "CSRGraph":
+        """Build a view directly from CSR arrays, with no ``nx.Graph``.
+
+        The zero-copy bridge from :class:`repro.topologies.core.TopologyCore`:
+        callers hand over ownership of ``nodes``/``indptr``/``indices`` (they
+        are not copied).  ``nodes`` must already follow this class's node
+        ordering contract (sorted when orderable, insertion order otherwise)
+        and ``indices`` must preserve per-row adjacency insertion order so
+        tie-breaking matches a graph-built view.  ``fingerprint`` may be
+        ``None`` for views that are never registered in the per-graph cache;
+        :func:`adopt_csr_view` fills it in when a materialized graph adopts
+        the view.
+        """
+        view = cls.__new__(cls)
+        view.indptr = np.asarray(indptr, dtype=np.int32)
+        view.indices = np.asarray(indices, dtype=np.int32)
+        view.nodes = nodes
+        view.index_of = index_of
+        view.num_nodes = len(nodes)
+        view.num_edges = len(view.indices) // 2
+        view.fingerprint = fingerprint
+        view._content_hash = None
+        view._init_caches()
+        return view
 
     @property
     def content_hash(self) -> str:
@@ -526,6 +562,23 @@ def csr_graph(graph: nx.Graph) -> CSRGraph:
     csr = CSRGraph(graph, fingerprint)
     _csr_cache[graph] = csr
     return csr
+
+
+def adopt_csr_view(graph: nx.Graph, view: CSRGraph) -> None:
+    """Register ``view`` as the cached CSR of ``graph``.
+
+    Used when a graph is materialized *from* array form (the
+    ``TopologyCore`` bridge): the already-built view is stamped with the
+    graph's structural fingerprint and seeded into the per-graph cache, so
+    the first ``csr_graph(graph)`` call finds it instead of re-walking the
+    adjacency dicts.  The caller guarantees the view describes ``graph``
+    exactly (same node order contract, same per-row adjacency order).
+    """
+    view.fingerprint = _graph_fingerprint(graph)
+    try:
+        _csr_cache[graph] = view
+    except TypeError:  # graph type without weakref support: nothing to seed
+        pass
 
 
 def clear_csr_cache() -> None:

@@ -146,9 +146,23 @@ def path_length_distribution(
     """
     csr = csr_graph(graph)
     if nodes is None:
-        target_indices = list(range(csr.num_nodes))
+        target_indices = None
     else:
         target_indices = sorted(set(_indices_of(csr, nodes)))
+    return path_length_distribution_csr(csr, target_indices)
+
+
+def path_length_distribution_csr(
+    csr: CSRGraph, target_indices: Optional[List[int]] = None
+) -> Counter:
+    """:func:`path_length_distribution` on a CSR view directly.
+
+    The array-native entry point used by :meth:`repro.topologies.base.Topology`
+    metrics so core-built topologies never materialize a ``networkx`` graph
+    for path statistics.  ``target_indices`` must be sorted and duplicate-free.
+    """
+    if target_indices is None:
+        target_indices = list(range(csr.num_nodes))
     if len(target_indices) < 2:
         return Counter()
     rows = _rows_for_indices(csr, target_indices)
@@ -159,6 +173,76 @@ def path_length_distribution(
     return Counter(
         {hops: int(count) for hops, count in enumerate(counts.tolist()) if count}
     )
+
+
+def csr_is_connected(csr: CSRGraph) -> bool:
+    """True if the CSR view describes a connected graph (empty counts)."""
+    if csr.num_nodes == 0:
+        return True
+    return bool((csr.distance_row(0) >= 0).all())
+
+
+def average_path_length_csr(csr: CSRGraph) -> float:
+    """Mean shortest-path length over distinct reachable pairs (CSR entry)."""
+    histogram = path_length_distribution_csr(csr)
+    total_pairs = sum(histogram.values())
+    if total_pairs == 0:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    return sum(hops * count for hops, count in histogram.items()) / total_pairs
+
+
+def diameter_csr(csr: CSRGraph) -> int:
+    """Longest shortest path over a CSR view (must connect some pair)."""
+    histogram = path_length_distribution_csr(csr)
+    if not histogram:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    return max(histogram)
+
+
+def server_path_length_cdf_csr(csr: CSRGraph, server_counts) -> Dict[int, float]:
+    """Server-to-server path-length CDF computed at the switch level.
+
+    Equivalent to building the combined host graph (servers as leaves) and
+    running :func:`path_length_cdf` over its server nodes -- every
+    server-to-server path goes leaf -> switch ... switch -> leaf, so a pair
+    on switches ``u != v`` is ``hops(u, v) + 2`` apart and a pair sharing a
+    switch is 2 apart -- but runs BFS only over the switch graph and weights
+    each switch pair by its number of server pairs.  ``server_counts`` is
+    aligned with ``csr.nodes``.  Produces bit-identical fractions to the
+    host-graph path (same integer histogram, same divisions).
+    """
+    counts = np.asarray(server_counts, dtype=np.int64)
+    if counts.shape != (csr.num_nodes,):
+        raise ValueError("server_counts must align with csr.nodes")
+    hosts = np.flatnonzero(counts > 0)
+    histogram: Counter = Counter()
+    same_switch_pairs = int((counts[hosts] * (counts[hosts] - 1) // 2).sum())
+    if same_switch_pairs:
+        histogram[2] = same_switch_pairs
+    if len(hosts) >= 2:
+        host_counts = counts[hosts]
+        rows = _rows_for_indices(csr, hosts.tolist())
+        submatrix = np.stack(rows)[:, hosts]
+        upper_i, upper_j = np.triu_indices(len(hosts), k=1)
+        dists = submatrix[upper_i, upper_j]
+        reachable = dists >= 0
+        if reachable.any():
+            weights = host_counts[upper_i[reachable]] * host_counts[upper_j[reachable]]
+            binned = np.bincount(
+                dists[reachable] + 2, weights=weights.astype(np.float64)
+            )
+            for hops, weight in enumerate(binned.tolist()):
+                if weight:
+                    histogram[hops] += int(weight)
+    total = sum(histogram.values())
+    if total == 0:
+        raise ValueError("graph has no connected pair of the requested nodes")
+    cdf: Dict[int, float] = {}
+    running = 0
+    for hops in sorted(histogram):
+        running += histogram[hops]
+        cdf[hops] = running / total
+    return cdf
 
 
 def average_path_length(graph: nx.Graph, nodes: Optional[Iterable] = None) -> float:

@@ -1,4 +1,4 @@
-"""Random regular graph construction.
+"""Random regular graph construction (array-native).
 
 The Jellyfish paper (Section 3) does not require exactly-uniform sampling of
 r-regular graphs: it uses a simple sequential procedure -- repeatedly join a
@@ -6,17 +6,41 @@ uniform-random pair of non-adjacent switches that still have free ports, and
 when the process gets stuck with a switch holding two or more free ports,
 "open up" a random existing link and splice the stuck switch into it.
 
-This module implements that procedure (``sequential_random_regular_graph``),
-the classical configuration/pairing model (``pairing_model_regular_graph``)
-used as an ablation baseline, and a thin dispatcher
-(``random_regular_graph``).
+This module implements that procedure over index-space adjacency rows
+instead of an ``nx.Graph``: plain insertion-ordered dicts replicate the
+networkx adjacency bookkeeping exactly (same insertion *and* deletion
+order), the open-node list is maintained incrementally instead of being
+re-filtered per added edge (the historical implementation spent >80% of a
+fig05-scale build in that ``prune_open_nodes`` list comprehension), and the
+rng stream is consumed identically -- every ``sample``/``shuffle``/``choice``
+draw the original made is reproduced draw-for-draw, so the produced graph is
+bit-identical for the same seed.  The historical implementations are
+retained in :mod:`repro.graphs._reference` and the parity is pinned by the
+hypothesis suite in ``tests/test_topology_core.py``.
+
+Three constructions are provided:
+
+* :func:`sequential_random_regular_graph` -- the paper's procedure (default);
+* :func:`stub_matching_regular_graph` -- a vectorized configuration-model
+  pass (one numpy permutation pairs every stub at once; self-loops and
+  duplicate pairs are dropped first-occurrence-first) followed by the
+  paper's splice repair for the leftover ports.  This is the fast
+  constructor used for large topology ensembles;
+* :func:`pairing_model_regular_graph` -- the classical rejection-sampling
+  configuration model, kept as an ablation baseline.
+
+``random_regular_graph`` dispatches between them, and
+:func:`random_graph_with_degree_budget` generalizes the sequential
+construction to heterogeneous per-node degree budgets.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+import random
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 
 import networkx as nx
+import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_integer
@@ -49,6 +73,243 @@ def free_port_counts(graph: nx.Graph, degree: int) -> Dict:
     return {node: degree - graph.degree(node) for node in graph.nodes}
 
 
+# --------------------------------------------------------------------------- #
+# RNG-stream-compatible draw helpers
+# --------------------------------------------------------------------------- #
+def _sample_pair(rand, population: Sequence[int]):
+    """Two distinct elements, drawing exactly like ``rand.sample(seq, 2)``.
+
+    Replicates CPython's ``random.Random.sample`` draw pattern for ``k == 2``
+    (pool-copy path for ``len <= 21``, rejection path above) through the same
+    ``_randbelow`` the library method would call, skipping the per-call
+    isinstance/ABC overhead that dominates the hot loop.  Any ``Random``
+    subclass falls back to the genuine ``sample`` so overridden generators
+    keep their own stream.
+    """
+    n = len(population)
+    if type(rand) is not random.Random:
+        pair = rand.sample(population, 2)
+        return pair[0], pair[1]
+    randbelow = rand._randbelow
+    if n <= 21:  # random.sample's setsize threshold for k == 2
+        pool = list(population)
+        j = randbelow(n)
+        first = pool[j]
+        pool[j] = pool[n - 1]
+        return first, pool[randbelow(n - 1)]
+    j = randbelow(n)
+    k = randbelow(n)
+    while k == j:
+        k = randbelow(n)
+    return population[j], population[k]
+
+
+# --------------------------------------------------------------------------- #
+# Index-space construction core
+# --------------------------------------------------------------------------- #
+def _edges_in_iteration_order(rows: List[dict]) -> list:
+    """Every edge exactly as ``nx.Graph.edges`` would iterate the graph.
+
+    With nodes inserted in index order, networkx yields each edge once as
+    ``(u, v)`` with ``u < v``, ordered by ``u`` and, within a row, by the
+    adjacency insertion order -- which the row dicts preserve bit-for-bit.
+    """
+    return [(u, v) for u, row in enumerate(rows) for v in row if v > u]
+
+
+def _complete_by_splicing(
+    rows: List[dict],
+    free: List[int],
+    open_nodes: List[int],
+    rand,
+    max_stall_rounds: int,
+    error,
+) -> None:
+    """The paper's construction loop over index-space adjacency rows.
+
+    ``open_nodes`` must hold exactly the indices with ``free > 0`` in node
+    order; it is maintained incrementally (a node is removed the moment its
+    last port is consumed), which keeps it equal to what the historical
+    implementation's per-edge ``prune_open_nodes`` pass would produce at
+    the cost of one C-level ``list.remove`` scan per *retired node* instead
+    of a Python-level O(open) re-filter per *added edge*.
+    """
+
+    def consume_port(u: int) -> None:
+        free[u] -= 1
+        if free[u] == 0:
+            open_nodes.remove(u)
+
+    def try_add_random_edge() -> bool:
+        if len(open_nodes) < 2:
+            return False
+        attempts = 4 * len(open_nodes)
+        for _ in range(attempts):
+            u, v = _sample_pair(rand, open_nodes)
+            if v not in rows[u]:
+                rows[u][v] = True
+                rows[v][u] = True
+                consume_port(u)
+                consume_port(v)
+                return True
+        # Exhaustive fallback: look for any addable pair.
+        for i, u in enumerate(open_nodes):
+            row_u = rows[u]
+            for v in open_nodes[i + 1:]:
+                if v not in row_u:
+                    rows[u][v] = True
+                    rows[v][u] = True
+                    consume_port(u)
+                    consume_port(v)
+                    return True
+        return False
+
+    stall_rounds = 0
+    while True:
+        if try_add_random_edge():
+            continue
+        # Stuck: no addable pair.  Splice nodes with >= 2 free ports into a
+        # random existing edge (the paper's repair step).
+        stuck = [u for u in open_nodes if free[u] >= 2]
+        if not stuck:
+            # Only nodes with a single free port remain, and they are all
+            # mutual neighbours.  If there are at least two of them the graph
+            # can still be completed by rewiring one existing edge.
+            if not _repair_single_port_pair(rows, free, open_nodes, rand):
+                break
+            continue
+        node = rand.choice(stuck)
+        edge_list = _edges_in_iteration_order(rows)
+        rand.shuffle(edge_list)
+        spliced = False
+        node_row = rows[node]
+        for x, y in edge_list:
+            if node == x or node == y or x in node_row or y in node_row:
+                continue
+            del rows[x][y]
+            del rows[y][x]
+            node_row[x] = True
+            rows[x][node] = True
+            node_row[y] = True
+            rows[y][node] = True
+            free[node] -= 2
+            if free[node] == 0:
+                open_nodes.remove(node)
+            spliced = True
+            break
+        if not spliced:
+            stall_rounds += 1
+            if stall_rounds > max_stall_rounds:
+                raise GraphConstructionError(error() if callable(error) else error)
+
+
+def _repair_single_port_pair(
+    rows: List[dict], free: List[int], open_nodes: List[int], rand
+) -> bool:
+    """Resolve the end-game where several adjacent nodes each have one free port.
+
+    Picks two such nodes u and v and an existing edge (x, y) disjoint from
+    them with x not adjacent to u and y not adjacent to v; replaces (x, y)
+    with (u, x) and (v, y).  Returns True if a repair was applied.
+    """
+    singles = [u for u in open_nodes if free[u] == 1]
+    if len(singles) < 2:
+        return False
+    rand.shuffle(singles)
+    for i, u in enumerate(singles):
+        row_u = rows[u]
+        for v in singles[i + 1:]:
+            row_v = rows[v]
+            edge_list = _edges_in_iteration_order(rows)
+            rand.shuffle(edge_list)
+            for x, y in edge_list:
+                if u == x or u == y or v == x or v == y:
+                    continue
+                for first, second in ((x, y), (y, x)):
+                    if first not in row_u and second not in row_v:
+                        del rows[x][y]
+                        del rows[y][x]
+                        row_u[first] = True
+                        rows[first][u] = True
+                        row_v[second] = True
+                        rows[second][v] = True
+                        consume = free[u] = free[u] - 1
+                        if consume == 0:
+                            open_nodes.remove(u)
+                        consume = free[v] = free[v] - 1
+                        if consume == 0:
+                            open_nodes.remove(v)
+                        return True
+    return False
+
+
+def graph_from_rows(labels: Iterable[Hashable], rows: List[dict]) -> nx.Graph:
+    """Materialize an ``nx.Graph`` whose adjacency order equals ``rows``.
+
+    ``rows[i]`` holds the neighbors of ``labels[i]`` as index keys in the
+    exact insertion order the equivalent sequence of
+    ``add_edge``/``remove_edge`` calls would have left in a live
+    ``nx.Graph``.  Replaying ``add_edge`` row-by-row cannot reproduce that
+    interleaved order (it would fill each row completely before the next),
+    so the rows are written into ``graph._adj`` directly, with one shared
+    attribute dict per undirected edge exactly as ``add_edge`` would create.
+    A parity test pins this materialization against a chronological
+    ``add_edge`` replay.
+    """
+    labels = list(labels)
+    graph = nx.Graph()
+    graph.add_nodes_from(labels)
+    adj = graph._adj
+    make_attrs = graph.edge_attr_dict_factory
+    edge_attrs: dict = {}
+    for i, label in enumerate(labels):
+        target = adj[label]
+        for j in rows[i]:
+            key = (i, j) if i < j else (j, i)
+            data = edge_attrs.get(key)
+            if data is None:
+                data = edge_attrs[key] = make_attrs()
+            target[labels[j]] = data
+    return graph
+
+
+# --------------------------------------------------------------------------- #
+# Public constructors
+# --------------------------------------------------------------------------- #
+def sequential_random_regular_rows(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+) -> List[dict]:
+    """Index-space adjacency rows of the paper's sequential construction.
+
+    This is the array-native entry point used by
+    :class:`repro.topologies.core.TopologyCore`; the rng stream and the
+    resulting adjacency (including insertion order) are bit-identical to the
+    retained reference implementation.
+    """
+    _validate_regular_params(num_nodes, degree)
+    rand = ensure_rng(rng)
+    rows: List[dict] = [{} for _ in range(num_nodes)]
+    if num_nodes == 0 or degree == 0:
+        return rows
+    free = [degree] * num_nodes
+    open_nodes = list(range(num_nodes))
+    _complete_by_splicing(
+        rows,
+        free,
+        open_nodes,
+        rand,
+        max_stall_rounds,
+        error=(
+            "could not complete regular graph construction "
+            f"(num_nodes={num_nodes}, degree={degree})"
+        ),
+    )
+    return rows
+
+
 def sequential_random_regular_graph(
     num_nodes: int,
     degree: int,
@@ -66,114 +327,8 @@ def sequential_random_regular_graph(
     used in the paper (it may leave a single free port when ``degree`` is odd
     and an odd number of stubs remains, matching the paper's description).
     """
-    _validate_regular_params(num_nodes, degree)
-    rand = ensure_rng(rng)
-
-    graph = nx.Graph()
-    graph.add_nodes_from(range(num_nodes))
-    if num_nodes == 0 or degree == 0:
-        return graph
-
-    free = {node: degree for node in graph.nodes}
-    open_nodes = list(graph.nodes)  # nodes that still have free ports
-
-    def prune_open_nodes() -> None:
-        open_nodes[:] = [node for node in open_nodes if free[node] > 0]
-
-    def try_add_random_edge() -> bool:
-        """Attempt to add one edge between random open nodes.
-
-        Uses rejection sampling first; if a bounded number of random draws
-        all hit already-adjacent pairs, fall back to an exhaustive scan so
-        we never falsely conclude the phase is finished.
-        """
-        prune_open_nodes()
-        if len(open_nodes) < 2:
-            return False
-        attempts = 4 * len(open_nodes)
-        for _ in range(attempts):
-            u, v = rand.sample(open_nodes, 2)
-            if not graph.has_edge(u, v):
-                graph.add_edge(u, v)
-                free[u] -= 1
-                free[v] -= 1
-                return True
-        # Exhaustive fallback: look for any addable pair.
-        for i, u in enumerate(open_nodes):
-            for v in open_nodes[i + 1:]:
-                if not graph.has_edge(u, v):
-                    graph.add_edge(u, v)
-                    free[u] -= 1
-                    free[v] -= 1
-                    return True
-        return False
-
-    stall_rounds = 0
-    while True:
-        if try_add_random_edge():
-            continue
-        prune_open_nodes()
-        # Stuck: no addable pair.  Splice nodes with >= 2 free ports into a
-        # random existing edge (the paper's repair step).
-        stuck = [node for node in open_nodes if free[node] >= 2]
-        if not stuck:
-            # Only nodes with a single free port remain, and they are all
-            # mutual neighbours.  If there are at least two of them the graph
-            # can still be completed by rewiring one existing edge.
-            if not _repair_single_port_pair(graph, free, open_nodes, rand):
-                break
-            continue
-        node = rand.choice(stuck)
-        edge_list = list(graph.edges)
-        rand.shuffle(edge_list)
-        spliced = False
-        for x, y in edge_list:
-            if node in (x, y) or graph.has_edge(node, x) or graph.has_edge(node, y):
-                continue
-            graph.remove_edge(x, y)
-            graph.add_edge(node, x)
-            graph.add_edge(node, y)
-            free[node] -= 2
-            spliced = True
-            break
-        if not spliced:
-            stall_rounds += 1
-            if stall_rounds > max_stall_rounds:
-                raise GraphConstructionError(
-                    "could not complete regular graph construction "
-                    f"(num_nodes={num_nodes}, degree={degree})"
-                )
-
-    return graph
-
-
-def _repair_single_port_pair(graph: nx.Graph, free, open_nodes, rand) -> bool:
-    """Resolve the end-game where several adjacent nodes each have one free port.
-
-    Picks two such nodes u and v and an existing edge (x, y) disjoint from
-    them with x not adjacent to u and y not adjacent to v; replaces (x, y)
-    with (u, x) and (v, y).  Returns True if a repair was applied.
-    """
-    singles = [node for node in open_nodes if free[node] == 1]
-    if len(singles) < 2:
-        return False
-    rand.shuffle(singles)
-    for i, u in enumerate(singles):
-        for v in singles[i + 1:]:
-            edge_list = list(graph.edges)
-            rand.shuffle(edge_list)
-            for x, y in edge_list:
-                if u in (x, y) or v in (x, y):
-                    continue
-                for first, second in ((x, y), (y, x)):
-                    if not graph.has_edge(u, first) and not graph.has_edge(v, second):
-                        graph.remove_edge(x, y)
-                        graph.add_edge(u, first)
-                        graph.add_edge(v, second)
-                        free[u] -= 1
-                        free[v] -= 1
-                        return True
-    return False
+    rows = sequential_random_regular_rows(num_nodes, degree, rng, max_stall_rounds)
+    return graph_from_rows(range(num_nodes), rows)
 
 
 def random_graph_with_degree_budget(
@@ -190,79 +345,137 @@ def random_graph_with_degree_budget(
     existing links.  As in the regular case, at most one free port may remain
     unmatched per stuck node when the graph becomes saturated.
     """
+    rows, labels = random_graph_with_degree_budget_rows(
+        budgets, rng, max_stall_rounds
+    )
+    return graph_from_rows(labels, rows)
+
+
+def random_graph_with_degree_budget_rows(
+    budgets: Dict,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+):
+    """Index-space rows + label list of the degree-budget construction."""
     rand = ensure_rng(rng)
-    graph = nx.Graph()
-    graph.add_nodes_from(budgets)
+    labels = list(budgets)
+    num_nodes = len(labels)
     for node, budget in budgets.items():
         if budget < 0:
             raise ValueError(f"negative degree budget for node {node!r}")
-        if budget >= len(budgets) and budget > 0:
+        if budget >= num_nodes and budget > 0:
             raise ValueError(
                 f"degree budget for node {node!r} ({budget}) is not realizable "
-                f"with {len(budgets)} nodes"
+                f"with {num_nodes} nodes"
             )
 
-    free = dict(budgets)
-    open_nodes = [node for node in graph.nodes if free[node] > 0]
+    rows: List[dict] = [{} for _ in range(num_nodes)]
+    free = [budgets[label] for label in labels]
+    open_nodes = [i for i in range(num_nodes) if free[i] > 0]
 
-    def prune_open_nodes() -> None:
-        open_nodes[:] = [node for node in open_nodes if free[node] > 0]
+    def describe_remaining() -> str:
+        remaining = {
+            labels[i]: free[i] for i in range(num_nodes) if free[i] > 0
+        }
+        return f"could not satisfy the degree budgets (remaining: {remaining})"
 
-    def try_add_random_edge() -> bool:
-        prune_open_nodes()
-        if len(open_nodes) < 2:
-            return False
-        attempts = 4 * len(open_nodes)
-        for _ in range(attempts):
-            u, v = rand.sample(open_nodes, 2)
-            if not graph.has_edge(u, v):
-                graph.add_edge(u, v)
-                free[u] -= 1
-                free[v] -= 1
-                return True
-        for i, u in enumerate(open_nodes):
-            for v in open_nodes[i + 1:]:
-                if not graph.has_edge(u, v):
-                    graph.add_edge(u, v)
-                    free[u] -= 1
-                    free[v] -= 1
-                    return True
-        return False
+    _complete_by_splicing(
+        rows, free, open_nodes, rand, max_stall_rounds, error=describe_remaining
+    )
+    return rows, labels
 
-    stall_rounds = 0
-    while True:
-        if try_add_random_edge():
-            continue
-        prune_open_nodes()
-        stuck = [node for node in open_nodes if free[node] >= 2]
-        if not stuck:
-            # Same end-game as the regular construction: adjacent nodes each
-            # holding one free port can be finished by rewiring one edge.
-            if not _repair_single_port_pair(graph, free, open_nodes, rand):
-                break
-            continue
-        node = rand.choice(stuck)
-        edge_list = list(graph.edges)
-        rand.shuffle(edge_list)
-        spliced = False
-        for x, y in edge_list:
-            if node in (x, y) or graph.has_edge(node, x) or graph.has_edge(node, y):
-                continue
-            graph.remove_edge(x, y)
-            graph.add_edge(node, x)
-            graph.add_edge(node, y)
-            free[node] -= 2
-            spliced = True
-            break
-        if not spliced:
-            stall_rounds += 1
-            if stall_rounds > max_stall_rounds:
-                raise GraphConstructionError(
-                    "could not satisfy the degree budgets "
-                    f"(remaining: { {n: f for n, f in free.items() if f > 0} })"
-                )
 
-    return graph
+def stub_matching_regular_rows(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+    scratch: Optional[dict] = None,
+) -> List[dict]:
+    """Vectorized stub matching with the paper's splice repair (rows form).
+
+    One numpy permutation pairs all ``num_nodes * degree`` stubs at once;
+    self-loop pairs and pairs duplicating an earlier edge are dropped in a
+    single vectorized pass (first occurrence wins, matching the scalar
+    reference's scan order), and whatever free ports remain are completed
+    with the same splice-repair loop the sequential construction uses.  The
+    numpy ``Generator`` is seeded with one 64-bit draw from ``rng``, so the
+    whole construction is a pure function of the Python seed and is pinned
+    bit-identical to :func:`repro.graphs._reference.stub_matching_regular_graph_reference`.
+
+    ``scratch`` is an optional dict reused across calls with the same
+    ``(num_nodes, degree)`` (the ensemble generator passes one per batch):
+    it keeps the stub multiset and the identity permutation template so
+    per-instance construction does no re-allocation for them.  Shuffling the
+    reused index buffer draws from the ``Generator`` exactly like
+    ``permutation`` (which is an arange + shuffle internally), so scratch
+    reuse does not change results.
+    """
+    _validate_regular_params(num_nodes, degree)
+    rand = ensure_rng(rng)
+    rows: List[dict] = [{} for _ in range(num_nodes)]
+    if num_nodes == 0 or degree == 0:
+        return rows
+
+    np_rng = np.random.default_rng(rand.getrandbits(64))
+    key = (num_nodes, degree)
+    if scratch is not None and scratch.get("key") == key:
+        stubs = scratch["stubs"]
+        order = scratch["order"]
+        np.copyto(order, scratch["identity"])
+    else:
+        stubs = np.repeat(np.arange(num_nodes, dtype=np.int64), degree)
+        identity = np.arange(stubs.shape[0])
+        order = identity.copy()
+        if scratch is not None:
+            scratch.update(key=key, stubs=stubs, identity=identity, order=order)
+    np_rng.shuffle(order)
+    paired = stubs[order]
+    u = paired[0::2]
+    v = paired[1::2]
+    # First-occurrence dedup of undirected pairs, excluding self-loops: the
+    # scalar scan adds pair i iff u != v and no earlier pair had the same
+    # endpoints.  np.unique's return_index gives exactly those survivors.
+    keys = np.minimum(u, v) * np.int64(num_nodes) + np.maximum(u, v)
+    valid = np.flatnonzero(u != v)
+    _, first = np.unique(keys[valid], return_index=True)
+    keep = np.sort(valid[first])
+
+    kept_u = u[keep].tolist()
+    kept_v = v[keep].tolist()
+    for a, b in zip(kept_u, kept_v):
+        rows[a][b] = True
+        rows[b][a] = True
+
+    endpoint_counts = np.bincount(
+        np.concatenate((u[keep], v[keep])), minlength=num_nodes
+    )
+    free = (degree - endpoint_counts).tolist()
+    open_nodes = [i for i in range(num_nodes) if free[i] > 0]
+    if open_nodes:
+        _complete_by_splicing(
+            rows,
+            free,
+            open_nodes,
+            rand,
+            max_stall_rounds,
+            error=(
+                "could not complete stub-matching construction "
+                f"(num_nodes={num_nodes}, degree={degree})"
+            ),
+        )
+    return rows
+
+
+def stub_matching_regular_graph(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    max_stall_rounds: int = 1000,
+) -> nx.Graph:
+    """Vectorized stub-matching random regular graph (see the rows variant)."""
+    rows = stub_matching_regular_rows(num_nodes, degree, rng, max_stall_rounds)
+    return graph_from_rows(range(num_nodes), rows)
 
 
 def pairing_model_regular_graph(
@@ -324,11 +537,15 @@ def random_regular_graph(
     """Build a random ``degree``-regular graph on ``num_nodes`` nodes.
 
     ``method`` selects the construction: ``"sequential"`` (the paper's
-    procedure, default), ``"pairing"`` (configuration model), or
-    ``"networkx"`` (delegate to :func:`networkx.random_regular_graph`).
+    procedure, default), ``"stubs"`` (vectorized stub matching with the
+    paper's splice repair -- the fast choice for large ensembles),
+    ``"pairing"`` (configuration model with rejection), or ``"networkx"``
+    (delegate to :func:`networkx.random_regular_graph`).
     """
     if method == "sequential":
         return sequential_random_regular_graph(num_nodes, degree, rng)
+    if method == "stubs":
+        return stub_matching_regular_graph(num_nodes, degree, rng)
     if method == "pairing":
         return pairing_model_regular_graph(num_nodes, degree, rng)
     if method == "networkx":
@@ -340,6 +557,28 @@ def random_regular_graph(
         rand = ensure_rng(rng)
         return nx.random_regular_graph(degree, num_nodes, seed=rand.randrange(2**32))
     raise ValueError(f"unknown construction method: {method!r}")
+
+
+def regular_rows(
+    num_nodes: int,
+    degree: int,
+    rng: RngLike = None,
+    method: str = "sequential",
+) -> List[dict]:
+    """Index-space adjacency rows for the array-native construction methods.
+
+    Only ``"sequential"`` and ``"stubs"`` build rows natively; the ablation
+    methods (``"pairing"``, ``"networkx"``) go through
+    :func:`random_regular_graph` instead.
+    """
+    if method == "sequential":
+        return sequential_random_regular_rows(num_nodes, degree, rng)
+    if method == "stubs":
+        return stub_matching_regular_rows(num_nodes, degree, rng)
+    raise ValueError(
+        f"no array-native rows construction for method {method!r}; "
+        "use random_regular_graph"
+    )
 
 
 def is_regular(graph: nx.Graph, degree: Optional[int] = None) -> bool:

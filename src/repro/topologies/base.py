@@ -5,6 +5,18 @@ number of ports it has and the number of servers attached to it.  All of the
 evaluation machinery (traffic matrices, LP throughput, routing, the fluid
 simulator, cabling) operates on this abstraction, so Jellyfish, fat-trees,
 small-world data centers and Clos networks are interchangeable everywhere.
+
+Internally a topology is backed by either a live ``nx.Graph`` (the
+historical representation, still the construction path for the structured
+baselines) or an array-native :class:`~repro.topologies.core.TopologyCore`
+(the path the random-graph constructors and the ensemble generator use).
+``Topology.graph`` stays the public API: core-backed topologies materialize
+the graph lazily on first access -- with adjacency insertion order
+bit-identical to the historical construction, and the core's CSR view
+adopted by the new graph so kernels never rebuild adjacency.  Metric
+helpers (:meth:`Topology.csr` and everything built on it) work directly on
+the CSR bridge, so path statistics never require the ``networkx`` view at
+all.
 """
 
 from __future__ import annotations
@@ -15,16 +27,17 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
 import networkx as nx
 
+from repro.graphs.csr import CSRGraph, _graph_fingerprint, csr_graph
 from repro.graphs.properties import (
-    average_path_length,
-    diameter,
+    average_path_length_csr,
+    csr_is_connected,
+    diameter_csr,
     is_connected,
-    path_length_cdf,
+    server_path_length_cdf_csr,
 )
+from repro.topologies.core import TopologyCore, TopologyError
 
-
-class TopologyError(ValueError):
-    """Raised when a topology violates its own port budget or invariants."""
+__all__ = ["EquipmentSummary", "Topology", "TopologyError"]
 
 
 @dataclass(frozen=True)
@@ -61,6 +74,9 @@ class Topology:
         Switches may be omitted (interpreted as zero servers).
     name:
         Human-readable topology name used in experiment reports.
+
+    Use :meth:`from_core` to construct array-natively (no ``nx.Graph`` is
+    built until something touches :attr:`graph`).
     """
 
     def __init__(
@@ -84,10 +100,83 @@ class Topology:
         self.validate()
 
     # ------------------------------------------------------------------ #
+    # Array-native backing
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_core(cls, core: TopologyCore, name: str = "topology") -> "Topology":
+        """Wrap a :class:`TopologyCore` without materializing a graph.
+
+        The public dict attributes (``ports``/``servers``) are populated
+        from the core's vectors; :attr:`graph` materializes lazily on first
+        access.  The core is validated once, vectorized.
+        """
+        topology = cls.__new__(cls)
+        topology._graph = None
+        topology._core = core
+        topology._core_fingerprint = None
+        topology.ports = dict(zip(core.labels, core.ports.tolist()))
+        topology.servers = dict(zip(core.labels, core.servers.tolist()))
+        topology.name = name
+        core.validate()
+        return topology
+
+    @property
+    def graph(self) -> nx.Graph:
+        if self._graph is None:
+            self._graph = self._core.to_networkx()
+            # The freshly materialized graph matches the core exactly;
+            # recording its fingerprint keeps core() from rebuilding.
+            self._core_fingerprint = _graph_fingerprint(self._graph)
+        return self._graph
+
+    @graph.setter
+    def graph(self, value: nx.Graph) -> None:
+        self._graph = value
+        self._core = None
+        self._core_fingerprint = None
+
+    @property
+    def has_materialized_graph(self) -> bool:
+        """True once the ``networkx`` view exists (False for fresh cores)."""
+        return self._graph is not None
+
+    def core(self) -> TopologyCore:
+        """The array-native core describing the current structure.
+
+        For core-backed topologies this is the backing object.  For
+        graph-backed topologies a core is derived from the live graph and
+        cached, revalidated against the graph's structural fingerprint so
+        in-place mutations (failure injection, expansion) are detected and
+        trigger a rebuild rather than returning stale arrays.
+        """
+        if self._graph is None and self._core is not None:
+            return self._core
+        fingerprint = _graph_fingerprint(self.graph)
+        if self._core is not None and self._core_fingerprint == fingerprint:
+            return self._core
+        self._core = TopologyCore.from_graph(self.graph, self.ports, self.servers)
+        self._core_fingerprint = fingerprint
+        return self._core
+
+    def csr(self) -> CSRGraph:
+        """CSR view of the switch graph (array bridge; no graph required).
+
+        Core-backed topologies get the core's view; materialized topologies
+        go through the fingerprint-revalidated per-graph cache, which the
+        core's view seeds at materialization time.
+        """
+        if self._graph is None and self._core is not None:
+            return self._core.csr()
+        return csr_graph(self.graph)
+
+    # ------------------------------------------------------------------ #
     # Invariants and accounting
     # ------------------------------------------------------------------ #
     def validate(self) -> None:
         """Check that every switch respects its port budget."""
+        if self._graph is None and self._core is not None:
+            self._core.validate()
+            return
         for node in self.graph.nodes:
             if node not in self.ports:
                 raise TopologyError(f"switch {node!r} has no port count")
@@ -103,14 +192,22 @@ class Topology:
 
     def free_ports(self, node: Hashable) -> int:
         """Unused ports on ``node`` (ports minus network links minus servers)."""
-        return self.ports[node] - self.graph.degree(node) - self.servers.get(node, 0)
+        if self._graph is None and self._core is not None:
+            degree = len(self._core.rows[self._core.index_of[node]])
+        else:
+            degree = self.graph.degree(node)
+        return self.ports[node] - degree - self.servers.get(node, 0)
 
     @property
     def num_switches(self) -> int:
+        if self._graph is None and self._core is not None:
+            return self._core.num_nodes
         return self.graph.number_of_nodes()
 
     @property
     def num_links(self) -> int:
+        if self._graph is None and self._core is not None:
+            return self._core.num_edges
         return self.graph.number_of_edges()
 
     @property
@@ -120,6 +217,10 @@ class Topology:
     @property
     def total_ports(self) -> int:
         return sum(self.ports.values())
+
+    def content_hash(self) -> str:
+        """Canonical structural hash (see ``TopologyCore.content_hash``)."""
+        return self.core().content_hash
 
     def equipment(self) -> EquipmentSummary:
         """Summary of the switching equipment this topology consumes."""
@@ -162,35 +263,54 @@ class Topology:
         return [("server", switch, index) for switch, index in self.server_list()]
 
     def is_connected(self) -> bool:
+        if self._graph is None and self._core is not None:
+            return csr_is_connected(self.csr())
         return is_connected(self.graph)
 
     def switch_average_path_length(self) -> float:
-        return average_path_length(self.graph)
+        return average_path_length_csr(self.csr())
 
     def switch_diameter(self) -> int:
-        return diameter(self.graph)
+        return diameter_csr(self.csr())
 
     def server_path_length_cdf(self) -> Dict[int, float]:
-        """CDF of server-to-server path lengths (Fig 1(c))."""
-        hosts = self.host_graph()
-        return path_length_cdf(hosts, self.server_nodes())
+        """CDF of server-to-server path lengths (Fig 1(c)).
+
+        Computed at the switch level (weighting each switch pair by its
+        server pairs) instead of BFS-ing the combined host graph; the
+        resulting fractions are bit-identical to the historical host-graph
+        path.
+        """
+        csr = self.csr()
+        counts = [self.servers.get(node, 0) for node in csr.nodes]
+        return server_path_length_cdf_csr(csr, counts)
 
     # ------------------------------------------------------------------ #
     # Mutation helpers
     # ------------------------------------------------------------------ #
     def copy(self) -> "Topology":
-        """Deep copy (graph, ports and servers are all copied)."""
+        """Deep copy (graph or core, ports and servers are all copied).
+
+        Core-backed copies reorder adjacency exactly like ``nx.Graph.copy``
+        (see :meth:`TopologyCore.copy_as_graph_copy`), so evaluation on a
+        copy tie-breaks identically whichever backing the original had.
+        """
         clone = _copy.copy(self)
-        clone.graph = self.graph.copy()
+        if self._graph is None and self._core is not None:
+            clone._core = self._core.copy_as_graph_copy()
+        else:
+            clone.graph = self.graph.copy()
         clone.ports = dict(self.ports)
         clone.servers = dict(self.servers)
         return clone
 
     def remove_links(self, links: Iterable[Tuple[Hashable, Hashable]]) -> None:
         """Remove the given switch-to-switch links (used by failure injection)."""
+        graph = self.graph
+        self._core = None  # in-place mutation invalidates any derived core
         for u, v in links:
-            if self.graph.has_edge(u, v):
-                self.graph.remove_edge(u, v)
+            if graph.has_edge(u, v):
+                graph.remove_edge(u, v)
 
     def attach_servers(self, switch: Hashable, count: int) -> None:
         """Attach ``count`` additional servers to ``switch`` (port budget permitting)."""
@@ -202,6 +322,10 @@ class Topology:
                 f"cannot attach {count} servers"
             )
         self.servers[switch] = self.servers.get(switch, 0) + count
+        if self._core is not None:
+            self._core.set_servers(
+                self._core.index_of[switch], self.servers[switch]
+            )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging convenience
         return (

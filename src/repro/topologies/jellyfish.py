@@ -4,18 +4,106 @@ Implements the construction of Section 3 (``RRG(N, k, r)``), the incremental
 expansion procedures of Section 4.2 (adding a rack with servers, adding a
 bare switch to boost capacity) and heterogeneous expansion with switches of
 different port counts.
+
+Construction is array-native: the random-graph constructors produce
+index-space adjacency rows which back a
+:class:`~repro.topologies.core.TopologyCore`, and the ``networkx`` view the
+rest of the public API exposes is materialized lazily (bit-identical to the
+historical eager construction, including adjacency insertion order).
+Incremental expansion maintains the set of splice-eligible links in a
+rank-selectable structure instead of rebuilding an O(E) candidate list per
+splice; the historical quadratic loop is retained as
+:meth:`JellyfishTopology._add_switch_reference` and pinned by the parity
+suite in ``tests/test_topology_core.py``.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Optional
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import networkx as nx
 
-from repro.graphs.regular import random_graph_with_degree_budget, random_regular_graph
+from repro.graphs.regular import (
+    random_graph_with_degree_budget_rows,
+    random_regular_graph,
+    regular_rows,
+)
 from repro.topologies.base import Topology, TopologyError
+from repro.topologies.core import TopologyCore
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_integer
+
+
+class _SpliceCandidateSet:
+    """Splice-eligible links for :meth:`JellyfishTopology.add_switch`.
+
+    Holds the edge list captured when the new switch joins (every edge is
+    initially eligible: the switch has no links yet) and supports the two
+    operations the splice loop needs: uniform selection by rank over the
+    surviving candidates (Fenwick-tree prefix sums, O(log E)) and removal of
+    every candidate incident to a node that just became the new switch's
+    neighbor (amortized O(degree log E)).  Candidate order is the captured
+    ``graph.edges`` order, and removals preserve the relative order of
+    survivors -- exactly the list the historical implementation re-filtered
+    from scratch on every iteration, so ``randrange`` draws select the same
+    edges.
+    """
+
+    __slots__ = ("_edges", "_alive", "_live", "_tree", "_size", "_step", "_incident")
+
+    def __init__(self, edges: Sequence[Tuple[Hashable, Hashable]]) -> None:
+        self._edges = list(edges)
+        size = len(self._edges)
+        self._size = size
+        self._live = size
+        self._alive = [True] * size
+        # Fenwick tree initialized to all-ones in O(E).
+        tree = [0] * (size + 1)
+        for i in range(1, size + 1):
+            tree[i] += 1
+            parent = i + (i & -i)
+            if parent <= size:
+                tree[parent] += tree[i]
+        self._tree = tree
+        step = 1
+        while step * 2 <= size:
+            step *= 2
+        self._step = step
+        incident: Dict[Hashable, List[int]] = {}
+        for index, (u, v) in enumerate(self._edges):
+            incident.setdefault(u, []).append(index)
+            incident.setdefault(v, []).append(index)
+        self._incident = incident
+
+    def __len__(self) -> int:
+        return self._live
+
+    def select(self, rank: int) -> Tuple[Hashable, Hashable]:
+        """The ``rank``-th surviving candidate (0-based, candidate order)."""
+        target = rank + 1
+        position = 0
+        step = self._step
+        tree = self._tree
+        while step:
+            probe = position + step
+            if probe <= self._size and tree[probe] < target:
+                position = probe
+                target -= tree[probe]
+            step >>= 1
+        return self._edges[position]
+
+    def remove_incident_to(self, node: Hashable) -> None:
+        """Drop every surviving candidate with ``node`` as an endpoint."""
+        tree = self._tree
+        size = self._size
+        for index in self._incident.get(node, ()):
+            if self._alive[index]:
+                self._alive[index] = False
+                self._live -= 1
+                position = index + 1
+                while position <= size:
+                    tree[position] -= 1
+                    position += position & -position
 
 
 class JellyfishTopology(Topology):
@@ -53,7 +141,9 @@ class JellyfishTopology(Topology):
 
         Each switch uses ``network_degree`` ports for the random interconnect
         and, by default, the remaining ``ports_per_switch - network_degree``
-        ports for servers (override with ``servers_per_switch``).
+        ports for servers (override with ``servers_per_switch``).  The
+        ``"sequential"`` and ``"stubs"`` methods build array-natively (no
+        ``networkx`` graph until something needs it).
         """
         require_integer(num_switches, "num_switches")
         require_integer(ports_per_switch, "ports_per_switch")
@@ -77,10 +167,19 @@ class JellyfishTopology(Topology):
         # that "only a single unmatched port might remain".
         degree = network_degree
         if (num_switches * degree) % 2 != 0:
-            graph = random_regular_graph(num_switches, degree - 1, rng, method=method)
-        else:
-            graph = random_regular_graph(num_switches, degree, rng, method=method)
+            degree -= 1
 
+        if method in ("sequential", "stubs"):
+            rows = regular_rows(num_switches, degree, rng, method=method)
+            core = TopologyCore(
+                range(num_switches),
+                rows,
+                [ports_per_switch] * num_switches,
+                [servers_per_switch] * num_switches,
+            )
+            return cls.from_core(core, name=name)
+
+        graph = random_regular_graph(num_switches, degree, rng, method=method)
         ports = {node: ports_per_switch for node in graph.nodes}
         servers = {node: servers_per_switch for node in graph.nodes}
         return cls(graph, ports, servers, name=name)
@@ -123,10 +222,14 @@ class JellyfishTopology(Topology):
             count = base_servers + (1 if node < extra else 0)
             servers[node] = count
             budgets[node] = min(ports_per_switch - count, num_switches - 1)
-        graph = random_graph_with_degree_budget(budgets, rng=rand)
-        ports = {node: ports_per_switch for node in graph.nodes}
-        topo = cls(graph, ports, servers, name=name)
-        return topo
+        rows, labels = random_graph_with_degree_budget_rows(budgets, rng=rand)
+        core = TopologyCore(
+            labels,
+            rows,
+            [ports_per_switch] * num_switches,
+            [servers[label] for label in labels],
+        )
+        return cls.from_core(core, name=name)
 
     # ------------------------------------------------------------------ #
     # Incremental expansion (Section 4.2)
@@ -137,6 +240,7 @@ class JellyfishTopology(Topology):
         ports: int,
         servers: int = 0,
         rng: RngLike = None,
+        validate: bool = True,
     ) -> None:
         """Incorporate a new switch by random link swaps.
 
@@ -145,6 +249,12 @@ class JellyfishTopology(Topology):
         existing link (v, w) with v, w not already adjacent to the new switch
         is removed and replaced by links (u, v) and (u, w).  A final odd free
         port is left unused, as in the paper.
+
+        The splice-eligible link set is maintained incrementally (see
+        :class:`_SpliceCandidateSet`); selected edges -- and therefore the
+        resulting topology -- are identical to the historical per-iteration
+        rebuild for the same seed.  ``validate=False`` defers the port-budget
+        check to the caller (used by :meth:`expand` to validate once).
         """
         require_integer(ports, "ports")
         require_integer(servers, "servers")
@@ -154,24 +264,65 @@ class JellyfishTopology(Topology):
             raise TopologyError("servers must be between 0 and ports")
         rand = ensure_rng(rng)
 
-        self.graph.add_node(switch)
+        graph = self.graph
+        self._core = None  # in-place mutation invalidates derived arrays
+        graph.add_node(switch)
+        self.ports[switch] = ports
+        self.servers[switch] = servers
+
+        if self.free_ports(switch) >= 2:
+            candidates = _SpliceCandidateSet(graph.edges)
+            while self.free_ports(switch) >= 2 and len(candidates):
+                v, w = candidates.select(rand.randrange(len(candidates)))
+                graph.remove_edge(v, w)
+                graph.add_edge(switch, v)
+                graph.add_edge(switch, w)
+                candidates.remove_incident_to(v)
+                candidates.remove_incident_to(w)
+        if validate:
+            self.validate()
+
+    def _add_switch_reference(
+        self,
+        switch: Hashable,
+        ports: int,
+        servers: int = 0,
+        rng: RngLike = None,
+    ) -> None:
+        """Historical quadratic splice loop (parity reference; do not modify).
+
+        Rebuilds the full eligible-link list from ``graph.edges`` on every
+        iteration.  Kept so the parity suite and the topology benchmarks can
+        pin :meth:`add_switch` against the original draw-for-draw.
+        """
+        require_integer(ports, "ports")
+        require_integer(servers, "servers")
+        if switch in self.graph:
+            raise TopologyError(f"switch {switch!r} already exists")
+        if servers < 0 or servers > ports:
+            raise TopologyError("servers must be between 0 and ports")
+        rand = ensure_rng(rng)
+
+        graph = self.graph
+        self._core = None
+        graph.add_node(switch)
         self.ports[switch] = ports
         self.servers[switch] = servers
 
         while self.free_ports(switch) >= 2:
             candidates = [
                 (v, w)
-                for v, w in self.graph.edges
+                for v, w in graph.edges
                 if switch not in (v, w)
-                and not self.graph.has_edge(switch, v)
-                and not self.graph.has_edge(switch, w)
+                and not graph.has_edge(switch, v)
+                and not graph.has_edge(switch, w)
             ]
             if not candidates:
                 break
             v, w = candidates[rand.randrange(len(candidates))]
-            self.graph.remove_edge(v, w)
-            self.graph.add_edge(switch, v)
-            self.graph.add_edge(switch, w)
+            graph.remove_edge(v, w)
+            graph.add_edge(switch, v)
+            graph.add_edge(switch, w)
         self.validate()
 
     def add_rack(
@@ -197,7 +348,9 @@ class JellyfishTopology(Topology):
         """Add ``new_switches`` racks in one expansion step.
 
         Switch identifiers are ``(prefix, i)`` with ``i`` continuing from the
-        current switch count so repeated expansions never collide.
+        current switch count so repeated expansions never collide.  The port
+        budget is validated once after the whole batch rather than after
+        every added switch.
         """
         require_integer(new_switches, "new_switches")
         if new_switches < 0:
@@ -210,7 +363,9 @@ class JellyfishTopology(Topology):
                 ports,
                 servers=servers_per_switch,
                 rng=rand,
+                validate=False,
             )
+        self.validate()
 
     def rewired_links_for_expansion(self, ports_added: int) -> int:
         """Number of existing cables that must be moved to absorb new ports.

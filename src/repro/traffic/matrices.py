@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Tuple
 
+import numpy as np
+
 from repro.topologies.base import Topology
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_positive
@@ -23,9 +25,32 @@ from repro.utils.validation import require_positive
 Server = Tuple[Hashable, int]
 
 
-@dataclass
+@dataclass(frozen=True)
+class SwitchDemandArrays:
+    """Aggregated switch-pair demands in array form.
+
+    ``pairs[i]`` is the i-th demanded (source switch, destination switch)
+    pair in first-occurrence order (the same order ``switch_pairs`` keys
+    iterate); ``src``/``dst`` are the pairs as ``int32`` indices into the
+    topology's sorted-switch index (the CSR node order) and ``rates`` the
+    aggregated demand per pair.  Flow assembly consumes these instead of
+    re-walking the server-level demand list dict-by-dict.
+    """
+
+    pairs: List[Tuple[Hashable, Hashable]]
+    src: np.ndarray
+    dst: np.ndarray
+    rates: np.ndarray
+
+
+@dataclass(frozen=True)
 class Demand:
-    """A single server-to-server demand."""
+    """A single server-to-server demand.
+
+    Frozen: the aggregation caches on :class:`TrafficMatrix` fingerprint the
+    demand *list*, so the demands themselves must be immutable (derive a
+    scaled copy with :meth:`TrafficMatrix.scaled` instead of editing rates).
+    """
 
     source: Server
     destination: Server
@@ -55,12 +80,34 @@ class TrafficMatrix:
     def total_demand(self) -> float:
         return sum(d.rate for d in self.demands)
 
+    def _fingerprint(self) -> Tuple[Demand, ...]:
+        """Snapshot of the demand list for the aggregation caches.
+
+        A tuple of the demand objects themselves: caches compare it slot
+        identity for slot identity (``is``, not ``==``), and the strong
+        references keep object ids from being recycled, so a matching
+        snapshot plus :class:`Demand` being frozen guarantees identical
+        demands.  The identity sweep is C-level and far cheaper than
+        re-aggregating.
+        """
+        return tuple(self.demands)
+
+    @staticmethod
+    def _fingerprint_matches(snapshot, demands) -> bool:
+        return len(snapshot) == len(demands) and all(
+            cached is current for cached, current in zip(snapshot, demands)
+        )
+
     def switch_pairs(self) -> Dict[Tuple[Hashable, Hashable], float]:
         """Aggregate demands by (source switch, destination switch).
 
         Demands whose endpoints share a switch never touch the network and
-        are excluded.
+        are excluded.  The aggregation is memoized per demand-list state;
+        treat the returned dict as read-only.
         """
+        cached = getattr(self, "_pairs_cache", None)
+        if cached is not None and self._fingerprint_matches(cached[0], self.demands):
+            return cached[1]
         aggregated: Dict[Tuple[Hashable, Hashable], float] = {}
         for demand in self.demands:
             src, dst = demand.source_switch, demand.destination_switch
@@ -68,7 +115,35 @@ class TrafficMatrix:
                 continue
             key = (src, dst)
             aggregated[key] = aggregated.get(key, 0.0) + demand.rate
+        self._pairs_cache = (self._fingerprint(), aggregated)
         return aggregated
+
+    def as_switch_array(self, index_of: Dict[Hashable, int]) -> SwitchDemandArrays:
+        """Aggregated demand triplets as numpy arrays (cached).
+
+        ``index_of`` maps switches to the topology's sorted-switch index
+        (``csr.index_of``); pass the same mapping object to hit the cache.
+        Pair order is the ``switch_pairs`` first-occurrence order, and the
+        per-pair rates are the exact same floats, so LP rows assembled from
+        these arrays are bit-identical to the dict walk they replace.
+        """
+        cached = getattr(self, "_array_cache", None)
+        if (
+            cached is not None
+            and cached[0] is index_of
+            and self._fingerprint_matches(cached[1], self.demands)
+        ):
+            return cached[2]
+        pairs_dict = self.switch_pairs()
+        pairs = list(pairs_dict)
+        arrays = SwitchDemandArrays(
+            pairs=pairs,
+            src=np.asarray([index_of[src] for src, _ in pairs], dtype=np.int32),
+            dst=np.asarray([index_of[dst] for _, dst in pairs], dtype=np.int32),
+            rates=np.asarray(list(pairs_dict.values()), dtype=np.float64),
+        )
+        self._array_cache = (index_of, self._fingerprint(), arrays)
+        return arrays
 
     def scaled(self, factor: float) -> "TrafficMatrix":
         """Return a copy with every demand multiplied by ``factor``."""

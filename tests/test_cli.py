@@ -95,3 +95,59 @@ class TestSweepMain:
 
     def test_sweep_show_unknown_sweep(self, capsys):
         assert main(["sweep", "show", "fig99"]) == 2
+
+
+class TestTopoCli:
+    def test_topo_build_prints_summary_and_hash(self, capsys):
+        from repro.cli import build_topo_parser, main
+
+        args = build_topo_parser().parse_args(
+            ["build", "--switches", "20", "--ports", "6", "--degree", "4"]
+        )
+        assert args.command == "build" and args.seed == 0
+        assert main(
+            ["topo", "build", "--switches", "20", "--ports", "6", "--degree", "4",
+             "--seed", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "switches 20" in out
+        assert "content hash" in out
+
+    def test_topo_build_same_seed_same_hash(self, capsys):
+        from repro.cli import main
+
+        argv = ["topo", "build", "--switches", "16", "--ports", "6", "--degree",
+                "3", "--seed", "5"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_topo_build_rejects_bad_parameters(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["topo", "build", "--switches", "10", "--ports", "4", "--degree", "5"]
+        ) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_topo_ensemble_serial_matches_sharded(self, capsys):
+        from repro.cli import main
+
+        argv = ["topo", "ensemble", "--instances", "4", "--switches", "14",
+                "--ports", "6", "--degree", "3", "--seed", "2"]
+        assert main(argv) == 0
+        serial = capsys.readouterr().out
+        assert "distinct hashes 4" in serial
+        assert main(argv + ["--workers", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_topo_ensemble_stubs_method(self, capsys):
+        from repro.cli import main
+
+        assert main(
+            ["topo", "ensemble", "--instances", "3", "--switches", "20",
+             "--ports", "8", "--degree", "5", "--method", "stubs"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "method=stubs" in out

@@ -13,10 +13,14 @@ ALL_EXPERIMENTS = list_experiments()
 
 
 class TestRegistry:
-    def test_all_seventeen_experiments_registered(self):
-        assert len(ALL_EXPERIMENTS) == 17
+    def test_all_experiments_registered(self):
+        # 17 paper figures/tables + 3 ensemble variants (fig02a/05/08-ens).
+        assert len(ALL_EXPERIMENTS) == 20
         assert "fig01" in ALL_EXPERIMENTS
         assert "table1" in ALL_EXPERIMENTS
+        assert "fig05-ens" in ALL_EXPERIMENTS
+        assert "fig08-ens" in ALL_EXPERIMENTS
+        assert "fig02a-ens" in ALL_EXPERIMENTS
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
