@@ -33,6 +33,7 @@ from repro.routing import build_path_set, ecmp_paths, k_shortest_paths, link_pat
 from repro.simulation import (
     AimdConfig,
     SimulationConfig,
+    measure_convergence_round,
     simulate_aimd,
     simulate_fluid,
 )
@@ -72,6 +73,7 @@ __all__ = [
     "k_shortest_paths",
     "link_path_counts",
     "AimdConfig",
+    "measure_convergence_round",
     "SimulationConfig",
     "simulate_aimd",
     "simulate_fluid",

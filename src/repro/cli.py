@@ -27,6 +27,11 @@ Construct and content-hash topologies directly (array-native; no figure)::
     jellyfish-repro topo build --switches 80 --ports 12 --degree 9 --seed 3
     jellyfish-repro topo ensemble --instances 100 --switches 80 --ports 12 \
         --degree 9 --method stubs --workers 4
+
+Run the round-based AIMD dynamics engine on one topology::
+
+    jellyfish-repro sim aimd --switches 80 --ports 12 --degree 9 \
+        --cc mptcp --rounds 300 --seed 3
 """
 
 from __future__ import annotations
@@ -344,12 +349,141 @@ def _topo_main(argv: List[str]) -> int:
         return 2
 
 
+def build_sim_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro sim",
+        description="Run the simulators directly (array-native; no figure)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    aimd_parser = subparsers.add_parser(
+        "aimd",
+        help="round-based AIMD/MPTCP dynamics on one topology (vectorized engine)",
+    )
+    aimd_parser.add_argument(
+        "--topology",
+        choices=["jellyfish", "fattree"],
+        default="jellyfish",
+        help="topology family (jellyfish RRG or k-port fat-tree)",
+    )
+    aimd_parser.add_argument(
+        "--switches", type=int, default=20, help="jellyfish: number of switches (N)"
+    )
+    aimd_parser.add_argument(
+        "--ports", type=int, default=6, help="ports per switch (k)"
+    )
+    aimd_parser.add_argument(
+        "--degree", type=int, default=4, help="jellyfish: network ports per switch (r)"
+    )
+    aimd_parser.add_argument(
+        "--routing", choices=["ksp", "ecmp"], default="ksp", help="routing scheme"
+    )
+    aimd_parser.add_argument(
+        "--cc",
+        choices=["tcp1", "tcp8", "mptcp"],
+        default="mptcp",
+        help="congestion control model",
+    )
+    aimd_parser.add_argument(
+        "--k", type=int, default=8, help="paths per pair (KSP k / ECMP width)"
+    )
+    aimd_parser.add_argument(
+        "--subflows", type=int, default=8, help="subflows per connection (tcp8/mptcp)"
+    )
+    aimd_parser.add_argument("--rounds", type=int, default=200, help="simulated rounds")
+    aimd_parser.add_argument(
+        "--warmup-rounds", type=int, default=50, help="rounds excluded from measurement"
+    )
+    aimd_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.05,
+        help="settling tolerance for the convergence measurement",
+    )
+    aimd_parser.add_argument(
+        "--reference",
+        action="store_true",
+        help="run the retained scalar reference engine instead (for comparison)",
+    )
+    aimd_parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        help="random seed; the same seed reproduces the same run",
+    )
+    return parser
+
+
+def _sim_aimd(args: argparse.Namespace) -> int:
+    import time
+
+    from repro.simulation.aimd import AimdConfig, simulate_aimd
+    from repro.topologies.fattree import FatTreeTopology
+    from repro.topologies.jellyfish import JellyfishTopology
+
+    if args.topology == "fattree":
+        topology = FatTreeTopology.build(args.ports)
+        label = f"fattree k={args.ports}"
+    else:
+        topology = JellyfishTopology.build(
+            args.switches, args.ports, args.degree, rng=args.seed
+        )
+        label = f"jellyfish N={args.switches} k={args.ports} r={args.degree}"
+    config = AimdConfig(
+        routing=args.routing,
+        k=args.k,
+        congestion_control=args.cc,
+        subflows=args.subflows,
+        rounds=args.rounds,
+        warmup_rounds=args.warmup_rounds,
+        convergence_tolerance=args.tolerance,
+    )
+    if args.reference:
+        from repro.simulation._reference import simulate_aimd_reference as engine
+
+        engine_label = "reference (scalar)"
+    else:
+        engine = simulate_aimd
+        engine_label = "vectorized"
+    start = time.perf_counter()
+    result = engine(topology, config=config, rng=args.seed)
+    elapsed = time.perf_counter() - start
+    converged = (
+        f"round {result.convergence_round}"
+        if result.convergence_round is not None
+        else "not settled"
+    )
+    print(
+        f"aimd {label} routing={args.routing} cc={args.cc} "
+        f"rounds={args.rounds} seed={args.seed}"
+    )
+    print(f"  engine {engine_label}  wall time {elapsed:.3f}s")
+    print(
+        f"  connections {len(result.flow_throughputs)}  "
+        f"average throughput {result.average_throughput:.4f}  "
+        f"fairness {result.fairness:.4f}"
+    )
+    print(f"  convergence (tolerance {args.tolerance:g}): {converged}")
+    return 0
+
+
+def _sim_main(argv: List[str]) -> int:
+    args = build_sim_parser().parse_args(argv)
+    try:
+        return _sim_aimd(args)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
     if argv and argv[0] == "topo":
         return _topo_main(argv[1:])
+    if argv and argv[0] == "sim":
+        return _sim_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)

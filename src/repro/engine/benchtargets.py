@@ -12,6 +12,7 @@ from typing import Optional
 
 from repro.graphs.properties import average_path_length, diameter
 from repro.flow.throughput import normalized_throughput, supports_full_throughput
+from repro.simulation.aimd import AimdConfig, simulate_aimd
 from repro.simulation.fluid import SimulationConfig, simulate_fluid
 from repro.topologies.jellyfish import JellyfishTopology
 from repro.traffic.matrices import random_permutation_traffic
@@ -68,6 +69,41 @@ def jellyfish_fluid_point(
     return {
         "average_throughput": outcome.average_throughput,
         "fairness": outcome.fairness,
+    }
+
+
+def jellyfish_aimd_point(
+    num_switches: int,
+    ports: int,
+    network_degree: int,
+    routing: str = "ksp",
+    congestion_control: str = "mptcp",
+    k: int = 8,
+    rounds: int = 200,
+    warmup_rounds: int = 50,
+    seed: Optional[int] = None,
+) -> dict:
+    """Round-based AIMD dynamics of one Jellyfish (vectorized round engine).
+
+    Exercises the subflow compilation plus the array-native round loop --
+    and, across repeated points on one topology, the shared path-table and
+    capacity caches -- on a representative dynamics workload.
+    """
+    rng = ensure_rng(seed)
+    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    traffic = random_permutation_traffic(topology, rng=rng)
+    config = AimdConfig(
+        routing=routing,
+        k=k,
+        congestion_control=congestion_control,
+        rounds=rounds,
+        warmup_rounds=warmup_rounds,
+    )
+    outcome = simulate_aimd(topology, traffic, config, rng=rng)
+    return {
+        "average_throughput": outcome.average_throughput,
+        "fairness": outcome.fairness,
+        "convergence_round": outcome.convergence_round,
     }
 
 

@@ -83,7 +83,9 @@ EXPERIMENTS: Dict[str, str] = {
     "fig10": "repro.experiments.fig10_sim_vs_optimal",
     "fig11": "repro.experiments.fig11_servers_packet_level",
     "fig12": "repro.experiments.fig12_stability",
+    "fig12-dynamics": "repro.experiments.fig12_dynamics",
     "fig13": "repro.experiments.fig13_fairness",
+    "fig13-dynamics": "repro.experiments.fig13_dynamics",
     "fig14": "repro.experiments.fig14_localization",
 }
 

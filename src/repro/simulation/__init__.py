@@ -1,7 +1,13 @@
 """Simulators that account for routing and congestion control (paper Section 5)."""
 
+from repro.simulation.capacity import clear_capacity_cache, link_capacities
 from repro.simulation.fluid import FluidResult, SimulationConfig, simulate_fluid
-from repro.simulation.aimd import AimdConfig, AimdResult, simulate_aimd
+from repro.simulation.aimd import (
+    AimdConfig,
+    AimdResult,
+    measure_convergence_round,
+    simulate_aimd,
+)
 
 __all__ = [
     "FluidResult",
@@ -9,5 +15,8 @@ __all__ = [
     "simulate_fluid",
     "AimdConfig",
     "AimdResult",
+    "measure_convergence_round",
     "simulate_aimd",
+    "link_capacities",
+    "clear_capacity_cache",
 ]

@@ -27,6 +27,7 @@ from typing import Dict, Hashable, List, Optional, Tuple
 
 from repro.flow.maxmin import FlowSpec, max_min_fair_allocation
 from repro.routing.ksp import Path
+from repro.simulation.capacity import link_capacities
 from repro.routing.paths import PathSet, shared_path_set
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
@@ -84,12 +85,14 @@ class FluidResult:
 
 
 def _link_capacities(topology: Topology) -> Dict[Tuple[Hashable, Hashable], float]:
-    capacities: Dict[Tuple[Hashable, Hashable], float] = {}
-    for u, v, data in topology.graph.edges(data=True):
-        capacity = float(data.get("capacity", 1.0))
-        capacities[(u, v)] = capacity
-        capacities[(v, u)] = capacity
-    return capacities
+    """Directed link capacities (shared, content-hash-cached helper).
+
+    Kept as a module-level name for the benchmark recorders; the
+    implementation lives in :func:`repro.simulation.capacity.link_capacities`
+    and is shared with the AIMD round engine.  The returned table is cache
+    state -- read-only (the MPTCP allocator copies it before draining).
+    """
+    return link_capacities(topology)
 
 
 def _build_flow_specs(

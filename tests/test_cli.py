@@ -151,3 +151,51 @@ class TestTopoCli:
         ) == 0
         out = capsys.readouterr().out
         assert "method=stubs" in out
+
+
+class TestSimCli:
+    def test_sim_aimd_prints_summary(self, capsys):
+        from repro.cli import main
+
+        argv = ["sim", "aimd", "--switches", "16", "--ports", "6", "--degree",
+                "4", "--rounds", "40", "--warmup-rounds", "10", "--seed", "3"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "aimd jellyfish N=16" in out
+        assert "average throughput" in out
+        assert "convergence" in out
+
+    def test_sim_aimd_reference_engine_matches(self, capsys):
+        from repro.cli import main
+
+        argv = ["sim", "aimd", "--switches", "12", "--ports", "6", "--degree",
+                "3", "--rounds", "30", "--warmup-rounds", "5", "--seed", "1"]
+        assert main(argv) == 0
+        fast = capsys.readouterr().out
+        assert main(argv + ["--reference"]) == 0
+        slow = capsys.readouterr().out
+        # Identical measurements from both engines (wall-time line differs).
+        fast_stats = [line for line in fast.splitlines() if "throughput" in line]
+        slow_stats = [line for line in slow.splitlines() if "throughput" in line]
+        assert fast_stats == slow_stats
+
+    def test_sim_aimd_fattree(self, capsys):
+        from repro.cli import main
+
+        argv = ["sim", "aimd", "--topology", "fattree", "--ports", "4",
+                "--routing", "ecmp", "--cc", "tcp8", "--rounds", "30",
+                "--warmup-rounds", "10", "--seed", "2"]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "aimd fattree k=4" in out and "cc=tcp8" in out
+        # The run must actually measure goodput, not report a warmup-eats-
+        # everything zero.
+        assert "average throughput 0.0000" not in out
+
+    def test_sim_aimd_rejects_warmup_not_below_rounds(self, capsys):
+        from repro.cli import main
+
+        argv = ["sim", "aimd", "--switches", "12", "--ports", "6", "--degree",
+                "3", "--rounds", "30", "--seed", "1"]  # default warmup 50 >= 30
+        assert main(argv) == 2
+        assert "warmup_rounds" in capsys.readouterr().err

@@ -49,7 +49,9 @@ class TestRegistry:
 class TestEquivalenceWithDirectExecution:
     """``repro sweep run X`` must equal the pre-engine experiment output."""
 
-    @pytest.mark.parametrize("experiment_id", ["fig01", "fig02a", "fig02b", "fig05"])
+    @pytest.mark.parametrize(
+        "experiment_id", ["fig01", "fig02a", "fig02b", "fig05", "fig13-dynamics"]
+    )
     def test_native_sweeps_match_run_experiment(self, experiment_id):
         direct = run_experiment(experiment_id, scale="small", seed=0)
         swept = run_sweep(experiment_id, scale="small", seed=0)

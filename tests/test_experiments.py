@@ -14,13 +14,16 @@ ALL_EXPERIMENTS = list_experiments()
 
 class TestRegistry:
     def test_all_experiments_registered(self):
-        # 17 paper figures/tables + 3 ensemble variants (fig02a/05/08-ens).
-        assert len(ALL_EXPERIMENTS) == 20
+        # 17 paper figures/tables + 3 ensemble variants (fig02a/05/08-ens)
+        # + 2 AIMD dynamics variants (fig12/13-dynamics).
+        assert len(ALL_EXPERIMENTS) == 22
         assert "fig01" in ALL_EXPERIMENTS
         assert "table1" in ALL_EXPERIMENTS
         assert "fig05-ens" in ALL_EXPERIMENTS
         assert "fig08-ens" in ALL_EXPERIMENTS
         assert "fig02a-ens" in ALL_EXPERIMENTS
+        assert "fig12-dynamics" in ALL_EXPERIMENTS
+        assert "fig13-dynamics" in ALL_EXPERIMENTS
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
@@ -121,6 +124,21 @@ class TestHeadlineClaims:
     def test_fig13_fairness_is_high(self):
         result = run_experiment("fig13", scale="small", seed=0)
         assert all(value > 0.8 for value in result.column("jain_fairness_index"))
+
+    def test_fig13_dynamics_tracks_fluid_fairness(self):
+        result = run_experiment("fig13-dynamics", scale="small", seed=0)
+        rows = result.as_dicts()
+        # The dynamic controller should land near the fluid equilibrium's
+        # fairness and below-or-near its average throughput.
+        for row in rows:
+            assert row["aimd_fairness"] > 0.8
+            assert row["aimd_throughput"] <= row["fluid_throughput"] + 0.1
+
+    def test_fig12_dynamics_reports_convergence(self):
+        result = run_experiment("fig12-dynamics", scale="small", seed=0)
+        for row in result.as_dicts():
+            assert 0.0 <= row["converged_fraction"] <= 1.0
+            assert row["min"] <= row["mean"] <= row["max"]
 
     def test_fig14_localization_costs_little(self):
         result = run_experiment("fig14", scale="small", seed=0)

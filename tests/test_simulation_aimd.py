@@ -1,8 +1,13 @@
 """Tests for the round-based AIMD (TCP/MPTCP) simulator."""
 
+import numpy as np
 import pytest
 
-from repro.simulation.aimd import AimdConfig, simulate_aimd
+from repro.simulation.aimd import (
+    AimdConfig,
+    measure_convergence_round,
+    simulate_aimd,
+)
 from repro.simulation.fluid import MPTCP, TCP_ONE_FLOW
 from repro.traffic.matrices import random_permutation_traffic
 
@@ -64,6 +69,31 @@ class TestSimulation:
         )
         assert mptcp.average_throughput >= tcp.average_throughput - 0.05
 
+    def test_trace_opt_in(self, small_jellyfish):
+        traffic = random_permutation_traffic(small_jellyfish, rng=7)
+        without = simulate_aimd(
+            small_jellyfish, traffic, AimdConfig(rounds=30, warmup_rounds=10), rng=7
+        )
+        assert without.trace is None
+        with_trace = simulate_aimd(
+            small_jellyfish, traffic,
+            AimdConfig(rounds=30, warmup_rounds=10, record_trace=True), rng=7,
+        )
+        trace = np.asarray(with_trace.trace)
+        assert trace.shape == (30, len(with_trace.flow_throughputs))
+        assert np.all(trace >= 0.0)
+        assert np.all(trace <= 1.0 + 1e-9)
+        # Disabling the trace must not change the measurement.
+        assert without.flow_throughputs == with_trace.flow_throughputs
+        assert without.convergence_round == with_trace.convergence_round
+
+    def test_convergence_round_is_measured_or_none(self, small_jellyfish):
+        result = simulate_aimd(
+            small_jellyfish, config=AimdConfig(rounds=120, warmup_rounds=30), rng=8
+        )
+        if result.convergence_round is not None:
+            assert 30 <= result.convergence_round < 120
+
     def test_agrees_roughly_with_fluid_model(self, small_jellyfish):
         from repro.simulation.fluid import SimulationConfig, simulate_fluid
 
@@ -79,3 +109,53 @@ class TestSimulation:
             rng=6,
         )
         assert abs(fluid.average_throughput - aimd.average_throughput) < 0.35
+
+
+class TestConvergenceMeasure:
+    def test_constant_trace_converges_immediately(self):
+        trace = np.full((20, 3), 0.5)
+        assert measure_convergence_round(trace, warmup_rounds=5) == 5
+
+    def test_step_trace_converges_at_the_step(self):
+        trace = np.full((30, 2), 0.2)
+        trace[18:] = 0.8  # settles from round 18 onward
+        found = measure_convergence_round(
+            trace, warmup_rounds=0, tolerance=0.05, window=1
+        )
+        assert found == 18
+
+    def test_window_smooths_the_sawtooth(self):
+        # A +-0.2 sawtooth around 0.5: unsettled per-round, settled once
+        # smoothed over a full period.
+        rounds = np.arange(64)
+        trace = (0.5 + 0.2 * ((rounds % 2) * 2 - 1))[:, None]
+        assert (
+            measure_convergence_round(trace, warmup_rounds=0, tolerance=0.05, window=1)
+            is None
+        )
+        assert (
+            measure_convergence_round(trace, warmup_rounds=0, tolerance=0.05, window=2)
+            is not None
+        )
+
+    def test_never_settling_returns_none(self):
+        trace = np.linspace(0.0, 1.0, 40)[:, None]
+        assert (
+            measure_convergence_round(trace, warmup_rounds=0, tolerance=0.01, window=1)
+            is None
+        )
+
+    def test_empty_inputs(self):
+        assert measure_convergence_round(np.zeros((0, 3)), warmup_rounds=0) is None
+        assert measure_convergence_round(np.zeros((10, 0)), warmup_rounds=0) is None
+        assert measure_convergence_round(np.zeros((10, 2)), warmup_rounds=10) is None
+        with pytest.raises(ValueError):
+            measure_convergence_round(np.zeros(5), warmup_rounds=0)
+
+    def test_horizon_shorter_than_required_tail_is_not_converged(self):
+        # A constant trace is trivially within tolerance, but fewer measured
+        # rounds than the required settled tail cannot demonstrate settling.
+        trace = np.full((40, 2), 0.5)
+        assert measure_convergence_round(trace, warmup_rounds=39, window=1) is None
+        assert measure_convergence_round(trace, warmup_rounds=30, window=16) is None
+        assert measure_convergence_round(trace, warmup_rounds=24, window=16) == 24
