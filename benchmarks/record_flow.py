@@ -38,6 +38,8 @@ import platform
 import sys
 import time
 from pathlib import Path
+
+from repro.telemetry.timing import best_of, timed_best_of
 from unittest import mock
 
 from repro.flow._reference import (
@@ -70,12 +72,8 @@ OUTPUT = Path(__file__).resolve().parent / "BENCH_flow.json"
 
 
 def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
+    """Shared-clock best-of timing (see :func:`repro.telemetry.timing.best_of`)."""
+    return best_of(callable_, repeats)
 
 
 def _fig13_instance(fattree_k: int, server_factor: float = 1.13, seed: int = 1):
@@ -276,13 +274,7 @@ def _search_case(ports: int, repeats: int) -> list:
     label = f"fattree-equipment ports={ports}"
 
     def timed(callable_):
-        best = float("inf")
-        result = None
-        for _ in range(repeats):
-            _clear_flow_state()
-            start = time.perf_counter()
-            result = callable_()
-            best = min(best, time.perf_counter() - start)
+        best, result = timed_best_of(callable_, repeats, setup=_clear_flow_state)
         return best, result
 
     old_seconds, old_result = timed(lambda: _search_reference(ports, 0))

@@ -27,6 +27,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.timing import best_of
+
 from repro.graphs.csr import batched_hop_distances, clear_csr_cache, csr_graph
 from repro.routing._reference import (
     all_pairs_hop_distances_reference,
@@ -39,12 +41,8 @@ OUTPUT = Path(__file__).resolve().parent / "BENCH_kernels.json"
 
 
 def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
+    """Shared-clock best-of timing (see :func:`repro.telemetry.timing.best_of`)."""
+    return best_of(callable_, repeats)
 
 
 def _bfs_case(

@@ -36,6 +36,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.timing import best_of, timed_best_of
+
 from repro.graphs.csr import clear_csr_cache
 from repro.routing.paths import build_path_set, clear_shared_path_sets
 from repro.simulation._reference import simulate_aimd_reference
@@ -53,12 +55,8 @@ CONFIG = AimdConfig(
 
 
 def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
+    """Shared-clock best-of timing (see :func:`repro.telemetry.timing.best_of`)."""
+    return best_of(callable_, repeats)
 
 
 def _fig11_instance(fattree_k: int, server_factor: float = 1.25, seed: int = 1):
@@ -140,13 +138,7 @@ def _end_to_end_case(fattree_k: int, repeats: int, repeats_old=None) -> list:
         return simulate_aimd_reference(topology, traffic, CONFIG, rng=5)
 
     def timed_cold(callable_, reps):
-        best = float("inf")
-        for _ in range(reps):
-            _clear_sim_state()
-            start = time.perf_counter()
-            callable_()
-            best = min(best, time.perf_counter() - start)
-        return best
+        return timed_best_of(callable_, reps, setup=_clear_sim_state)[0]
 
     _assert_same(run_new(), run_old())
     old_reps = repeats if repeats_old is None else repeats_old

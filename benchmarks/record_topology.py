@@ -41,6 +41,8 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.timing import best_of
+
 from repro.graphs._reference import (
     random_graph_with_degree_budget_reference,
     sequential_random_regular_graph_reference,
@@ -61,12 +63,8 @@ OUTPUT = Path(__file__).resolve().parent / "BENCH_topology.json"
 
 
 def _best_of(callable_, repeats: int) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        start = time.perf_counter()
-        callable_()
-        best = min(best, time.perf_counter() - start)
-    return best
+    """Shared-clock best-of timing (see :func:`repro.telemetry.timing.best_of`)."""
+    return best_of(callable_, repeats)
 
 
 def _assert_same_edges(fast, reference) -> None:

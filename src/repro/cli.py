@@ -32,12 +32,19 @@ Run the round-based AIMD dynamics engine on one topology::
 
     jellyfish-repro sim aimd --switches 80 --ports 12 --degree 9 \
         --cc mptcp --rounds 300 --seed 3
+
+Trace a sweep and inspect the recorded telemetry (manifests + span events)::
+
+    jellyfish-repro sweep run fig02c --trace -v
+    jellyfish-repro stats --flame
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from repro.experiments.common import format_table, list_experiments, run_experiment
@@ -56,6 +63,13 @@ def _add_reproducibility_options(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=0,
         help="random seed; the same seed reproduces the same output for every subcommand",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="diagnostic verbosity on stderr (-v = progress, -vv = debug)",
     )
 
 
@@ -113,7 +127,26 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true", help="disable the result cache"
     )
     run_parser.add_argument(
-        "--quiet", action="store_true", help="suppress per-point progress on stderr"
+        "--quiet",
+        action="store_true",
+        help="suppress per-point progress on stderr (progress is already "
+        "quiet by default; combine with -v to re-enable it)",
+    )
+    run_parser.add_argument(
+        "--trace",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="PATH",
+        help="record span events as JSONL (default path: a trace-*.jsonl "
+        "beside the run manifests); workers inherit tracing via $REPRO_TRACE",
+    )
+    run_parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="directory for run manifests (default: $REPRO_RUNS_DIR or "
+        "<cache root>/runs; no manifest is written when caching is disabled "
+        "and no directory is given)",
     )
 
     subparsers.add_parser("list", help="list registered sweeps and their grid sizes")
@@ -161,46 +194,193 @@ def _sweep_show(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _resolve_runs_root(args: argparse.Namespace, cache):
+    """Where to write run manifests, or ``None`` to skip them entirely.
+
+    Explicit ``--runs-dir`` or ``$REPRO_RUNS_DIR`` always wins; otherwise
+    manifests sit beside the result cache (``<cache root>/runs``).  With
+    ``--no-cache`` and no explicit directory there is nowhere sensible to
+    write, so no manifest is produced.
+    """
+    import os
+
+    from repro.telemetry.manifest import RUNS_DIR_ENV, default_runs_root
+
+    if getattr(args, "runs_dir", None):
+        return Path(args.runs_dir).expanduser()
+    if os.environ.get(RUNS_DIR_ENV):
+        return default_runs_root()
+    if cache is not None:
+        return Path(cache.root) / "runs"
+    return None
+
+
 def _sweep_run(args: argparse.Namespace) -> int:
-    from repro.engine import ResultCache, SweepRunner, default_cache_root, run_sweep
+    import os
+
+    from repro.engine import (
+        ResultCache,
+        SweepRunner,
+        default_cache_root,
+        run_sweep,
+        sweep_specs,
+    )
+    from repro.telemetry import RunRecorder, enable, enable_in_subprocesses, get_logger
+    from repro.telemetry.tracer import get_tracer
+
+    log = get_logger("sweep")
 
     cache = None
     if not args.no_cache:
         root = args.cache_dir if args.cache_dir is not None else default_cache_root()
         cache = ResultCache(root)
+    runs_root = _resolve_runs_root(args, cache)
 
-    def progress(done: int, total: int, outcome) -> None:
-        if args.quiet:
-            return
-        source = "cache" if outcome.cached else f"{outcome.duration_s:.2f}s"
-        print(
-            f"[{done}/{total}] {outcome.point.scenario_hash[:12]} {source}",
-            file=sys.stderr,
-        )
+    # --trace: enable the tracer with a JSONL sink and export it to worker
+    # processes; a bare --trace picks a path beside the run manifests.
+    trace_path = None
+    if args.trace is not None:
+        trace_path = args.trace
+        if not trace_path:
+            root = runs_root if runs_root is not None else Path(".")
+            root.mkdir(parents=True, exist_ok=True)
+            trace_path = str(root / f"trace-{int(time.time())}-{os.getpid()}.jsonl")
+        enable(jsonl_path=trace_path)
+        enable_in_subprocesses(trace_path)
+    elif get_tracer() is not None:
+        trace_path = get_tracer().jsonl_path  # pre-enabled via $REPRO_TRACE
 
     exit_code = 0
     for sweep_id in args.sweeps:
-        runner = SweepRunner(workers=args.workers, cache=cache, progress=progress)
+        sweep_log = get_logger(f"sweep.{sweep_id}")
+
+        def progress(done: int, total: int, outcome) -> None:
+            if args.quiet:
+                return
+            if outcome.cached:
+                source = f"cache {outcome.duration_s * 1e3:.1f}ms"
+            else:
+                source = f"{outcome.duration_s:.2f}s"
+            sweep_log.info(
+                "[%d/%d] %s %s",
+                done,
+                total,
+                outcome.point.scenario_hash[:12],
+                source,
+            )
+
         try:
-            result = run_sweep(sweep_id, scale=args.scale, seed=args.seed, runner=runner)
+            specs = sweep_specs(sweep_id, scale=args.scale, seed=args.seed)
         except KeyError as error:
             print(f"error: {error}", file=sys.stderr)
             exit_code = 2
             continue
+        recorder = RunRecorder(
+            sweep_id,
+            scale=args.scale,
+            seed=args.seed,
+            workers=args.workers,
+            spec_hashes=[spec.spec_hash for spec in specs],
+        )
+
+        def observe(done: int, total: int, outcome) -> None:
+            recorder.observe(done, total, outcome)
+            progress(done, total, outcome)
+
+        runner = SweepRunner(workers=args.workers, cache=cache, progress=observe)
+        result = run_sweep(sweep_id, scale=args.scale, seed=args.seed, runner=runner)
+        if runs_root is not None:
+            manifest = recorder.finalize(
+                cache=cache, runs_root=runs_root, trace_events=trace_path
+            )
+            sweep_log.info("manifest %s", manifest)
         print(format_table(result))
         print()
-    if cache is not None and not args.quiet:
-        print(f"cache: {cache.stats} at {cache.root}", file=sys.stderr)
+    if cache is not None:
+        log.info("cache: %s at %s", cache.stats, cache.root)
     return exit_code
 
 
 def _sweep_main(argv: List[str]) -> int:
+    from repro.telemetry import configure_logging
+
     args = build_sweep_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
     if args.command == "list":
         return _sweep_list()
     if args.command == "show":
         return _sweep_show(args)
     return _sweep_run(args)
+
+
+def build_stats_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro stats",
+        description="Report run telemetry: point latencies, cache hit rates, "
+        "slowest phases, and optional span flame views",
+    )
+    parser.add_argument(
+        "--runs-dir",
+        default=None,
+        help="directory holding run-*.json manifests (default: $REPRO_RUNS_DIR "
+        "or <cache root>/runs)",
+    )
+    parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="JSONL span event log (default: the newest trace-*.jsonl "
+        "referenced by the manifests or found under the runs dir)",
+    )
+    parser.add_argument(
+        "--flame",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="NAME",
+        help="render a text flame view of the slowest span tree "
+        "(optionally restricted to spans named NAME)",
+    )
+    parser.add_argument(
+        "--limit",
+        type=int,
+        default=15,
+        help="rows in the phase table (0 = unlimited)",
+    )
+    return parser
+
+
+def _stats_main(argv: List[str]) -> int:
+    from repro.telemetry.manifest import default_runs_root, load_manifests
+    from repro.telemetry.report import load_events, render_stats
+
+    args = build_stats_parser().parse_args(argv)
+    runs_root = (
+        Path(args.runs_dir).expanduser()
+        if args.runs_dir is not None
+        else default_runs_root()
+    )
+    records = load_manifests(runs_root)
+
+    events: list = []
+    events_path = args.events
+    if events_path is None:
+        # Prefer the newest event log the manifests point at; fall back to
+        # the newest trace-*.jsonl sitting beside them.
+        candidates = [
+            Path(record.trace_events)
+            for record in records
+            if record.trace_events and Path(record.trace_events).is_file()
+        ]
+        if not candidates and runs_root.is_dir():
+            candidates = list(runs_root.glob("trace-*.jsonl"))
+        if candidates:
+            events_path = str(max(candidates, key=lambda p: p.stat().st_mtime))
+    if events_path is not None:
+        events = load_events(Path(events_path))
+
+    print(render_stats(records, events, flame=args.flame, limit=args.limit))
+    return 0
 
 
 def build_topo_parser() -> argparse.ArgumentParser:
@@ -484,9 +664,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _topo_main(argv[1:])
     if argv and argv[0] == "sim":
         return _sim_main(argv[1:])
+    if argv and argv[0] == "stats":
+        return _stats_main(argv[1:])
 
     parser = build_parser()
     args = parser.parse_args(argv)
+
+    from repro.telemetry import configure_logging
+
+    configure_logging(args.verbose)
 
     if args.list:
         for experiment_id in list_experiments():

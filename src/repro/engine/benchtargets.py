@@ -14,6 +14,7 @@ from repro.graphs.properties import average_path_length, diameter
 from repro.flow.throughput import normalized_throughput, supports_full_throughput
 from repro.simulation.aimd import AimdConfig, simulate_aimd
 from repro.simulation.fluid import SimulationConfig, simulate_fluid
+from repro.telemetry import trace
 from repro.topologies.jellyfish import JellyfishTopology
 from repro.traffic.matrices import random_permutation_traffic
 from repro.utils.rng import ensure_rng
@@ -23,7 +24,10 @@ def jellyfish_path_metrics(
     num_switches: int, ports: int, network_degree: int, seed: Optional[int] = None
 ) -> dict:
     """Mean switch-to-switch path length and diameter of one random Jellyfish."""
-    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=seed)
+    with trace("target.build", switches=num_switches):
+        topology = JellyfishTopology.build(
+            num_switches, ports, network_degree, rng=seed
+        )
     return {
         "mean_path_length": average_path_length(topology.graph),
         "diameter": diameter(topology.graph),
@@ -39,7 +43,10 @@ def jellyfish_throughput_point(
 ) -> dict:
     """Normalized random-permutation throughput of one Jellyfish (path-LP)."""
     rng = ensure_rng(seed)
-    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    with trace("target.build", switches=num_switches):
+        topology = JellyfishTopology.build(
+            num_switches, ports, network_degree, rng=rng
+        )
     traffic = random_permutation_traffic(topology, rng=rng)
     value = normalized_throughput(topology, traffic, engine="path", k=k).normalized
     return {"normalized_throughput": value}
@@ -60,7 +67,10 @@ def jellyfish_fluid_point(
     path-table state on a representative routing + congestion-control combo.
     """
     rng = ensure_rng(seed)
-    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    with trace("target.build", switches=num_switches):
+        topology = JellyfishTopology.build(
+            num_switches, ports, network_degree, rng=rng
+        )
     traffic = random_permutation_traffic(topology, rng=rng)
     config = SimulationConfig(
         routing=routing, k=k, congestion_control=congestion_control
@@ -90,7 +100,10 @@ def jellyfish_aimd_point(
     capacity caches -- on a representative dynamics workload.
     """
     rng = ensure_rng(seed)
-    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    with trace("target.build", switches=num_switches):
+        topology = JellyfishTopology.build(
+            num_switches, ports, network_degree, rng=rng
+        )
     traffic = random_permutation_traffic(topology, rng=rng)
     config = AimdConfig(
         routing=routing,
@@ -122,7 +135,10 @@ def jellyfish_full_throughput_point(
     warm regime of the fig02c binary search.
     """
     rng = ensure_rng(seed)
-    topology = JellyfishTopology.build(num_switches, ports, network_degree, rng=rng)
+    with trace("target.build", switches=num_switches):
+        topology = JellyfishTopology.build(
+            num_switches, ports, network_degree, rng=rng
+        )
     value = supports_full_throughput(
         topology, num_matrices=num_matrices, engine="path", k=k, rng=rng
     )

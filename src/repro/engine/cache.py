@@ -22,6 +22,7 @@ from pathlib import Path
 from typing import Any, Optional, Tuple
 
 from repro.engine.spec import ScenarioPoint, canonical_json
+from repro.telemetry.tracer import clock
 
 CACHE_FORMAT_VERSION = 1
 
@@ -39,17 +40,35 @@ def default_cache_root() -> Path:
 
 @dataclass
 class CacheStats:
-    """Hit/miss/write counters for one :class:`ResultCache` instance."""
+    """Hit/miss/write/eviction counters for one :class:`ResultCache` instance.
+
+    ``lookup_s`` and ``store_s`` accumulate the wall time spent in cache I/O
+    (fetches and stores respectively), so run manifests can report how much
+    of a sweep went to the cache itself.
+    """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
+    evictions: int = 0
+    lookup_s: float = 0.0
+    store_s: float = 0.0
 
     def as_dict(self) -> dict:
-        return {"hits": self.hits, "misses": self.misses, "writes": self.writes}
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "writes": self.writes,
+            "evictions": self.evictions,
+            "lookup_s": self.lookup_s,
+            "store_s": self.store_s,
+        }
 
     def __str__(self) -> str:
-        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+        text = f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+        if self.evictions:
+            text += f", {self.evictions} evictions"
+        return text
 
 
 @dataclass
@@ -69,7 +88,9 @@ class ResultCache:
 
     def fetch(self, point: ScenarioPoint) -> Tuple[bool, Any]:
         """Look up ``point``; returns ``(hit, value)`` with ``value=None`` on miss."""
+        start = clock()
         hit, value = self._read(point.scenario_hash)
+        self.stats.lookup_s += clock() - start
         if hit:
             self.stats.hits += 1
         else:
@@ -93,6 +114,7 @@ class ResultCache:
 
     def store(self, point: ScenarioPoint, value: Any) -> None:
         """Atomically persist ``value`` for ``point``."""
+        start = clock()
         path = self.path_for(point.scenario_hash)
         path.parent.mkdir(parents=True, exist_ok=True)
         envelope = {
@@ -115,6 +137,7 @@ class ResultCache:
                 pass
             raise
         self.stats.writes += 1
+        self.stats.store_s += clock() - start
 
     def __contains__(self, point: ScenarioPoint) -> bool:
         return self._read(point.scenario_hash)[0]
@@ -123,7 +146,7 @@ class ResultCache:
         return sum(1 for _ in self.root.glob("??/*.json"))
 
     def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+        """Delete every entry; returns the number removed (counted as evictions)."""
         removed = 0
         for entry in self.root.glob("??/*.json"):
             try:
@@ -131,4 +154,5 @@ class ResultCache:
                 removed += 1
             except OSError:
                 pass
+        self.stats.evictions += removed
         return removed

@@ -20,12 +20,15 @@ so assembling a figure from sweep values is a plain ``zip`` with the grid.
 from __future__ import annotations
 
 import multiprocessing
-import time
+import os
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import ScenarioPoint
+from repro.telemetry import trace
+from repro.telemetry.manifest import peak_rss_kb
+from repro.telemetry.tracer import clock
 
 #: ``progress(done, total, outcome)`` called after every completed point.
 ProgressCallback = Callable[[int, int, "PointOutcome"], None]
@@ -40,26 +43,35 @@ class PointOutcome:
     """Result of one scenario point.
 
     ``cached`` is true when the value came from the on-disk cache or from
-    another identical point executed earlier in the same sweep.
+    another identical point executed earlier in the same sweep.  For cached
+    points ``duration_s`` is the cache-lookup time, not an execution time;
+    ``worker`` is the pid of the process that executed the point (0 for
+    cache hits and dedup followers) and ``peak_rss_kb`` that process's
+    peak RSS high-water mark after the point ran (0 when not measured).
     """
 
     point: ScenarioPoint
     value: Any
     cached: bool
     duration_s: float
+    worker: int = 0
+    peak_rss_kb: int = 0
 
 
-def _execute_indexed(item: Tuple[int, ScenarioPoint]) -> Tuple[int, Any, float]:
-    """Pool worker: run one point, reporting its input index and duration."""
+def _execute_indexed(
+    item: Tuple[int, ScenarioPoint]
+) -> Tuple[int, Any, float, int, int]:
+    """Pool worker: run one point, reporting index, duration, pid and RSS."""
     index, point = item
-    start = time.perf_counter()
+    start = clock()
     try:
-        value = point.execute()
+        with trace("engine.point", target=point.target):
+            value = point.execute()
     except Exception as error:
         raise SweepError(
             f"scenario {point.scenario_hash[:12]} ({point.target}) failed: {error}"
         ) from error
-    return index, value, time.perf_counter() - start
+    return index, value, clock() - start, os.getpid(), peak_rss_kb()
 
 
 class SweepRunner:
@@ -104,13 +116,19 @@ class SweepRunner:
             if self.progress is not None:
                 self.progress(completed, total, outcome)
 
-        # Pass 1: cache lookups.
+        # Pass 1: cache lookups (timed, so cached points report their actual
+        # lookup cost instead of a flat 0.0).
         pending: List[Tuple[int, ScenarioPoint]] = []
         for index, point in enumerate(points):
             if self.cache is not None:
+                start = clock()
                 hit, value = self.cache.fetch(point)
+                lookup_s = clock() - start
                 if hit:
-                    finish(index, PointOutcome(point, value, cached=True, duration_s=0.0))
+                    finish(
+                        index,
+                        PointOutcome(point, value, cached=True, duration_s=lookup_s),
+                    )
                     continue
             pending.append((index, point))
 
@@ -126,11 +144,23 @@ class SweepRunner:
         work = list(primaries.values())
 
         # Pass 3: execute distinct scenarios, serially or in a pool.
-        def record(index: int, value: Any, duration: float) -> None:
+        def record(
+            index: int, value: Any, duration: float, worker: int, rss_kb: int
+        ) -> None:
             point = points[index]
             if self.cache is not None:
                 self.cache.store(point, value)
-            finish(index, PointOutcome(point, value, cached=False, duration_s=duration))
+            finish(
+                index,
+                PointOutcome(
+                    point,
+                    value,
+                    cached=False,
+                    duration_s=duration,
+                    worker=worker,
+                    peak_rss_kb=rss_kb,
+                ),
+            )
             for follower_index in followers.get(point.scenario_hash, ()):
                 finish(
                     follower_index,
@@ -140,12 +170,11 @@ class SweepRunner:
         if self.workers > 1 and len(work) > 1:
             context = multiprocessing.get_context()
             with context.Pool(processes=self.workers) as pool:
-                for index, value, duration in pool.imap_unordered(_execute_indexed, work):
-                    record(index, value, duration)
+                for result in pool.imap_unordered(_execute_indexed, work):
+                    record(*result)
         else:
             for item in work:
-                index, value, duration = _execute_indexed(item)
-                record(index, value, duration)
+                record(*_execute_indexed(item))
 
         assert all(outcome is not None for outcome in outcomes)
         return outcomes  # type: ignore[return-value]

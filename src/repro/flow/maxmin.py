@@ -23,6 +23,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 from scipy.sparse import csr_matrix
 
+from repro.telemetry import trace
+
 Path = Tuple[Hashable, ...]
 DirectedLink = Tuple[Hashable, Hashable]
 
@@ -166,58 +168,62 @@ def max_min_fair_allocation(
     else:
         membership = membership_t = None
 
-    while active.any():
-        active_f = active.astype(np.float64)
-        # Largest uniform increment permitted by links, subflow caps and
-        # aggregate flow demands (min over the same candidate set as the
-        # reference; min is order-independent).
-        increment = None
-        if membership is not None:
-            live = membership @ active_f
-            contested = live > 0.0
-            if contested.any():
-                increment = float(np.min(residual[contested] / live[contested]))
+    saturation_rounds = 0
+    with trace("maxmin.fill", subflows=num_subflows, links=num_links) as span:
+        while active.any():
+            saturation_rounds += 1
+            active_f = active.astype(np.float64)
+            # Largest uniform increment permitted by links, subflow caps and
+            # aggregate flow demands (min over the same candidate set as the
+            # reference; min is order-independent).
+            increment = None
+            if membership is not None:
+                live = membership @ active_f
+                contested = live > 0.0
+                if contested.any():
+                    increment = float(np.min(residual[contested] / live[contested]))
 
-        counts = np.bincount(subflow_flow[active], minlength=num_flows)
-        headroom = caps[active] - rates[active]
-        if headroom.size:
-            candidate = float(headroom.min())
-            if increment is None or candidate < increment:
-                increment = candidate
-        claiming = counts > 0
-        if claiming.any():
-            candidate = float(
-                np.min((demands[claiming] - flow_rate[claiming]) / counts[claiming])
-            )
-            if increment is None or candidate < increment:
-                increment = candidate
+            counts = np.bincount(subflow_flow[active], minlength=num_flows)
+            headroom = caps[active] - rates[active]
+            if headroom.size:
+                candidate = float(headroom.min())
+                if increment is None or candidate < increment:
+                    increment = candidate
+            claiming = counts > 0
+            if claiming.any():
+                candidate = float(
+                    np.min((demands[claiming] - flow_rate[claiming]) / counts[claiming])
+                )
+                if increment is None or candidate < increment:
+                    increment = candidate
 
-        if increment is None:
-            break
-        increment = max(increment, 0.0)
+            if increment is None:
+                break
+            increment = max(increment, 0.0)
 
-        # Apply the increment.  Per-flow totals grow by one addition per
-        # active subflow (not count * increment), replicating the reference's
-        # sequential accumulation exactly.
-        rates[active] += increment
-        for step in range(int(counts.max()) if counts.size else 0):
-            flow_rate[counts > step] += increment
-        if membership is not None:
-            residual -= increment * live
+            # Apply the increment.  Per-flow totals grow by one addition per
+            # active subflow (not count * increment), replicating the reference's
+            # sequential accumulation exactly.
+            rates[active] += increment
+            for step in range(int(counts.max()) if counts.size else 0):
+                flow_rate[counts > step] += increment
+            if membership is not None:
+                residual -= increment * live
 
-        # Freeze saturated claimants.
-        newly_frozen = np.zeros(num_subflows, dtype=bool)
-        if membership is not None:
-            saturated = residual <= epsilon
-            if saturated.any():
-                touched = (membership_t @ saturated.astype(np.float64)) > 0.0
-                newly_frozen |= active & touched
-        newly_frozen |= active & (rates >= caps - epsilon)
-        newly_frozen |= active & (flow_rate >= demands - epsilon)[subflow_flow]
-        if not newly_frozen.any() and increment <= epsilon:
-            # No progress possible; avoid an infinite loop.
-            break
-        active &= ~newly_frozen
+            # Freeze saturated claimants.
+            newly_frozen = np.zeros(num_subflows, dtype=bool)
+            if membership is not None:
+                saturated = residual <= epsilon
+                if saturated.any():
+                    touched = (membership_t @ saturated.astype(np.float64)) > 0.0
+                    newly_frozen |= active & touched
+            newly_frozen |= active & (rates >= caps - epsilon)
+            newly_frozen |= active & (flow_rate >= demands - epsilon)[subflow_flow]
+            if not newly_frozen.any() and increment <= epsilon:
+                # No progress possible; avoid an infinite loop.
+                break
+            active &= ~newly_frozen
+        span.add(saturation_rounds=saturation_rounds)
 
     # Final accounting mirrors the reference's scalar passes (Python float
     # adds in key order, one add per link traversal) so load bookkeeping is

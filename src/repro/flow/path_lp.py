@@ -35,6 +35,7 @@ from scipy.sparse import csr_matrix
 
 from repro.flow.mcf import FlowSolverError, _directed_arcs
 from repro.graphs.csr import csr_graph
+from repro.telemetry import trace
 from repro.routing.paths import PathSet, shared_path_set
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix
@@ -112,6 +113,18 @@ class PathLPStructure:
         (the cached :meth:`~repro.traffic.matrices.TrafficMatrix.as_switch_array`
         form) and skips the per-pair dict walk for the theta column.
         """
+        with trace("lp.assemble") as span:
+            assembled = self._assemble(demands, path_set, rates)
+            span.add(
+                pairs=len(demands),
+                vars=assembled[-1],
+                nnz=int(assembled[0].nnz + assembled[2].nnz),
+            )
+        return assembled
+
+    def _assemble(
+        self, demands: Dict, path_set: PathSet, rates: Optional[np.ndarray] = None
+    ) -> tuple:
         pairs = list(demands)
         num_pairs = len(pairs)
         counts = np.empty(num_pairs, dtype=np.int64)
@@ -176,15 +189,21 @@ class PathLPStructure:
         a_eq, b_eq, a_ub, b_ub, num_vars = assembled
         objective = np.zeros(num_vars)
         objective[num_vars - 1] = -1.0
-        return linprog(
-            objective,
-            A_ub=a_ub,
-            b_ub=b_ub,
-            A_eq=a_eq,
-            b_eq=b_eq,
-            bounds=(0, None),
-            method=method,
-        )
+        with trace("lp.solve", method=method) as span:
+            result = linprog(
+                objective,
+                A_ub=a_ub,
+                b_ub=b_ub,
+                A_eq=a_eq,
+                b_eq=b_eq,
+                bounds=(0, None),
+                method=method,
+            )
+            span.add(
+                iterations=int(getattr(result, "nit", 0) or 0),
+                success=bool(result.success),
+            )
+        return result
 
     def solve(
         self, demands: Dict, path_set: PathSet, rates: Optional[np.ndarray] = None

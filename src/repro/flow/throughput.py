@@ -34,6 +34,7 @@ from repro.flow.path_lp import (
 )
 from repro.graphs.csr import csr_graph
 from repro.routing.paths import shared_path_set
+from repro.telemetry import count, trace
 from repro.topologies.base import Topology
 from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
 from repro.utils.rng import RngLike, ensure_rng
@@ -167,7 +168,10 @@ def _supports_matrix(
     """
     if len(traffic) == 0:
         return True
-    if _throughput_upper_bound(topology, traffic) < 1.0 - _SCREEN_MARGIN:
+    with trace("throughput.screen", flows=len(traffic)):
+        screened = _throughput_upper_bound(topology, traffic) < 1.0 - _SCREEN_MARGIN
+    if screened:
+        count("throughput.screen_rejects")
         return False
     if engine != "path":
         return normalized_throughput(
@@ -176,10 +180,11 @@ def _supports_matrix(
     demands = traffic.switch_pairs()
     if not demands:
         return True
-    arrays = traffic.as_switch_array(csr_graph(topology.graph).index_of)
-    structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
-    path_set = shared_path_set(topology.graph, arrays.pairs, scheme="ksp", k=k)
-    theta = structure.solve_decision(demands, path_set, rates=arrays.rates)
+    with trace("throughput.decide", pairs=len(demands)):
+        arrays = traffic.as_switch_array(csr_graph(topology.graph).index_of)
+        structure = shared_path_lp_structure(topology, scheme="ksp", k=k)
+        path_set = shared_path_set(topology.graph, arrays.pairs, scheme="ksp", k=k)
+        theta = structure.solve_decision(demands, path_set, rates=arrays.rates)
     return theta >= 1.0 - 1e-9
 
 

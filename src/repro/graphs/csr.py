@@ -36,6 +36,8 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.telemetry import count, trace
+
 IndexPath = Tuple[int, ...]
 
 #: Sources are processed in chunks of this many bit-planes to bound the
@@ -261,22 +263,32 @@ class CSRGraph:
             source_indices = range(self.num_nodes)
         sources = np.asarray(list(source_indices), dtype=np.int32)
         dist = np.full((len(sources), self.num_nodes), -1, dtype=np.int32)
-        for start in range(0, len(sources), _BFS_SOURCE_CHUNK):
-            chunk = sources[start : start + _BFS_SOURCE_CHUNK]
-            self._bfs_chunk(chunk, dist[start : start + _BFS_SOURCE_CHUNK])
+        with trace(
+            "bfs.batch", sources=len(sources), nodes=self.num_nodes
+        ) as span:
+            sweeps = 0
+            for start in range(0, len(sources), _BFS_SOURCE_CHUNK):
+                chunk = sources[start : start + _BFS_SOURCE_CHUNK]
+                sweeps += self._bfs_chunk(
+                    chunk, dist[start : start + _BFS_SOURCE_CHUNK]
+                )
+            span.add(frontier_sweeps=sweeps)
         return dist
 
-    def _bfs_chunk(self, sources: np.ndarray, dist: np.ndarray) -> None:
-        """Bit-parallel frontier BFS for one chunk of sources (writes ``dist``)."""
+    def _bfs_chunk(self, sources: np.ndarray, dist: np.ndarray) -> int:
+        """Bit-parallel frontier BFS for one chunk of sources (writes ``dist``).
+
+        Returns the number of frontier sweeps (BFS levels) executed.
+        """
         n = self.num_nodes
         num_sources = len(sources)
         if n == 0 or num_sources == 0:
-            return
+            return 0
         source_pos = np.arange(num_sources)
         dist[source_pos, sources] = 0
         num_edges = len(self.indices)
         if num_edges == 0:
-            return
+            return 0
         words = (num_sources + 63) // 64
         frontier = np.zeros((n, words), dtype=np.uint64)
         bit = np.uint64(1) << (source_pos % 64).astype(np.uint64)
@@ -319,6 +331,7 @@ class CSRGraph:
                     if sel.any():
                         dist[word_idx[sel] * 64 + b, node_idx[sel]] = level
             frontier = new
+        return level
 
     # ------------------------------------------------------------------
     # Scalar BFS helpers shared by Yen's algorithm and path enumeration.
@@ -471,6 +484,7 @@ def k_shortest_path_indices(
     # Candidate heap entries: (length, path, deviation index of the path).
     candidates: List[Tuple[int, IndexPath, int]] = []
     seen_candidates = set()
+    spur_attempts = 0
 
     while len(paths) < k:
         previous = paths[-1]
@@ -484,6 +498,7 @@ def k_shortest_path_indices(
                 if len(path) > i and path[: i + 1] == root
             }
 
+            spur_attempts += 1
             spur = _bfs_spur_path(csr, spur_node, target, banned_first_hops, root[:-1])
             if spur is None:
                 continue
@@ -497,6 +512,8 @@ def k_shortest_path_indices(
             break
         _, best, deviation_index = heapq.heappop(candidates)
         paths.append(best)
+    if spur_attempts:
+        count("yen.spur_candidates", spur_attempts)
     return paths
 
 

@@ -42,6 +42,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 import networkx as nx
 import numpy as np
 
+from repro.telemetry import count, trace
 from repro.utils.rng import RngLike, ensure_rng
 from repro.utils.validation import require_integer
 
@@ -196,6 +197,7 @@ def _complete_by_splicing(
             if free[node] == 0:
                 open_nodes.remove(node)
             spliced = True
+            count("rrg.splice_repairs")
             break
         if not spliced:
             stall_rounds += 1
@@ -239,6 +241,7 @@ def _repair_single_port_pair(
                         consume = free[v] = free[v] - 1
                         if consume == 0:
                             open_nodes.remove(v)
+                        count("rrg.single_port_repairs")
                         return True
     return False
 
@@ -296,17 +299,18 @@ def sequential_random_regular_rows(
         return rows
     free = [degree] * num_nodes
     open_nodes = list(range(num_nodes))
-    _complete_by_splicing(
-        rows,
-        free,
-        open_nodes,
-        rand,
-        max_stall_rounds,
-        error=(
-            "could not complete regular graph construction "
-            f"(num_nodes={num_nodes}, degree={degree})"
-        ),
-    )
+    with trace("rrg.sequential", nodes=num_nodes, degree=degree):
+        _complete_by_splicing(
+            rows,
+            free,
+            open_nodes,
+            rand,
+            max_stall_rounds,
+            error=(
+                "could not complete regular graph construction "
+                f"(num_nodes={num_nodes}, degree={degree})"
+            ),
+        )
     return rows
 
 
@@ -379,9 +383,10 @@ def random_graph_with_degree_budget_rows(
         }
         return f"could not satisfy the degree budgets (remaining: {remaining})"
 
-    _complete_by_splicing(
-        rows, free, open_nodes, rand, max_stall_rounds, error=describe_remaining
-    )
+    with trace("rrg.degree_budget", nodes=num_nodes):
+        _complete_by_splicing(
+            rows, free, open_nodes, rand, max_stall_rounds, error=describe_remaining
+        )
     return rows, labels
 
 
@@ -417,6 +422,20 @@ def stub_matching_regular_rows(
     if num_nodes == 0 or degree == 0:
         return rows
 
+    with trace("rrg.stub_matching", nodes=num_nodes, degree=degree):
+        return _stub_matching_rows(
+            rows, num_nodes, degree, rand, max_stall_rounds, scratch
+        )
+
+
+def _stub_matching_rows(
+    rows: List[dict],
+    num_nodes: int,
+    degree: int,
+    rand,
+    max_stall_rounds: int,
+    scratch: Optional[dict],
+) -> List[dict]:
     np_rng = np.random.default_rng(rand.getrandbits(64))
     key = (num_nodes, degree)
     if scratch is not None and scratch.get("key") == key:

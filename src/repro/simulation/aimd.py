@@ -49,6 +49,7 @@ import numpy as np
 
 from repro.routing.paths import PathSet, shared_path_set
 from repro.simulation.capacity import link_capacities
+from repro.telemetry import count, trace
 from repro.simulation.fluid import (
     MPTCP,
     TCP_EIGHT_FLOWS,
@@ -474,8 +475,23 @@ def simulate_aimd(
             topology.graph, arrays.pairs, scheme=config.routing, k=config.k
         )
 
-    compiled = _compile_subflows(topology, traffic, path_set, config, rand)
-    round_goodput, measured_totals, measured_rounds = _run_rounds(compiled, config)
-    return _assemble_result(
+    with trace("aimd.compile", connections=len(traffic)) as span:
+        compiled = _compile_subflows(topology, traffic, path_set, config, rand)
+        span.add(
+            subflows=compiled.num_subflows,
+            links=int(compiled.link_capacity.shape[0]),
+        )
+    with trace(
+        "aimd.rounds", rounds=config.rounds, subflows=compiled.num_subflows
+    ):
+        round_goodput, measured_totals, measured_rounds = _run_rounds(
+            compiled, config
+        )
+    result = _assemble_result(
         compiled, round_goodput, measured_totals, measured_rounds, config
     )
+    if result.convergence_round is not None:
+        # Rounds-to-convergence as a domain counter on the enclosing span
+        # (if any): visible in `repro stats` without a trace of its own.
+        count("aimd.rounds_to_convergence", result.convergence_round)
+    return result

@@ -1,0 +1,63 @@
+"""``logging``-based diagnostics: per-experiment loggers, quiet by default.
+
+All of the repo's human-facing diagnostics (sweep progress, cache stats,
+manifest locations) go through loggers under the ``repro`` hierarchy
+instead of bare ``print`` calls:
+
+* :func:`get_logger` returns ``repro.<name>`` loggers -- per-experiment
+  loggers are ``repro.sweep.fig02c`` etc., so ``logging`` filtering works
+  per experiment;
+* :func:`configure` installs one stderr handler on the ``repro`` root and
+  maps the CLI's ``-v`` count to levels (0 = warnings only, the quiet
+  default; 1 = info, the old progress chatter; 2+ = debug).
+
+Library code never calls :func:`configure`; only the CLI does.  Without it,
+loggers propagate into whatever logging setup the embedding application
+has, which is the standard library-friendly behavior.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+ROOT_LOGGER_NAME = "repro"
+
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+_configured_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """Logger under the ``repro`` hierarchy (``get_logger("sweep.fig01")``)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a ``logging`` level (0→WARNING, 1→INFO, 2+→DEBUG)."""
+    return _LEVELS.get(max(int(verbosity), 0), logging.DEBUG)
+
+
+def configure(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Install (or retune) the CLI's stderr handler; returns the root logger.
+
+    Idempotent: repeated calls adjust the level of the one installed
+    handler instead of stacking new ones, so tests and nested CLI entry
+    points can call it freely.
+    """
+    global _configured_handler
+    root = get_logger()
+    level = verbosity_to_level(verbosity)
+    if _configured_handler is None or _configured_handler not in root.handlers:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+        handler.setFormatter(logging.Formatter("%(name)s: %(message)s"))
+        root.addHandler(handler)
+        _configured_handler = handler
+    elif stream is not None:  # retarget (tests pass explicit streams)
+        _configured_handler.setStream(stream)
+    _configured_handler.setLevel(logging.NOTSET)
+    root.setLevel(level)
+    root.propagate = False
+    return root

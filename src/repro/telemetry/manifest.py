@@ -1,0 +1,270 @@
+"""Run manifests: one JSON record per sweep invocation, stored beside the cache.
+
+A :class:`RunRecord` captures everything needed to audit or re-create a
+sweep run after the fact: the git revision and command line, the sweep id /
+scale / seed, every spec's content hash, and a per-point list of
+``(scenario_hash, target, cached, duration_s, worker pid, peak RSS)``.
+``repro stats`` reads these to report point-latency percentiles and cache
+hit rates per experiment.
+
+Manifests are plain JSON files named ``run-<run_id>.json`` under a *runs
+root* -- by default ``<result-cache-root>/runs`` so the operational record
+sits beside the results it describes (override with ``$REPRO_RUNS_DIR``).
+Writes are atomic (temp file + ``os.replace``), mirroring the cache's
+discipline: a killed run never leaves a truncated manifest.
+
+:class:`RunRecorder` is the collection half: its :meth:`~RunRecorder.observe`
+method is a :data:`~repro.engine.runner.ProgressCallback`, so wiring a
+recorder into a :class:`~repro.engine.runner.SweepRunner` is one extra
+callback -- the runner itself stays manifest-agnostic.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import time
+import uuid
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence
+
+MANIFEST_VERSION = 1
+
+#: Environment variable overriding where run manifests (and default event
+#: logs) are written.
+RUNS_DIR_ENV = "REPRO_RUNS_DIR"
+
+
+def default_runs_root() -> Path:
+    """Manifest directory: ``$REPRO_RUNS_DIR`` or ``<cache root>/runs``."""
+    override = os.environ.get(RUNS_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    from repro.engine.cache import default_cache_root  # lazy: avoid cycles
+
+    return default_cache_root() / "runs"
+
+
+def git_revision(cwd: Optional[str] = None) -> Optional[str]:
+    """Current git commit hash, or ``None`` outside a repo / without git."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def peak_rss_kb() -> int:
+    """This process's peak resident set size in KiB (0 where unavailable).
+
+    ``ru_maxrss`` is a monotonic high-water mark, so per-point values in a
+    manifest record "the largest the worker had grown by the time this
+    point finished", not the point's own footprint.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-Unix platforms
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - reported in bytes there
+        peak //= 1024
+    return int(peak)
+
+
+@dataclass
+class PointRecord:
+    """Per-point telemetry row inside a :class:`RunRecord`."""
+
+    scenario_hash: str
+    target: str
+    cached: bool
+    duration_s: float
+    worker: int = 0
+    peak_rss_kb: int = 0
+
+
+@dataclass
+class RunRecord:
+    """One sweep invocation's manifest (JSON round-trippable)."""
+
+    run_id: str
+    sweep_id: str
+    scale: str = "small"
+    seed: Optional[int] = None
+    created_unix: int = 0
+    git_rev: Optional[str] = None
+    command: List[str] = field(default_factory=list)
+    workers: int = 0
+    spec_hashes: List[str] = field(default_factory=list)
+    duration_s: float = 0.0
+    cache: Optional[Dict[str, int]] = None
+    trace_events: Optional[str] = None
+    points: List[PointRecord] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        payload = asdict(self)
+        payload["version"] = MANIFEST_VERSION
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunRecord":
+        if payload.get("version") != MANIFEST_VERSION:
+            raise ValueError(
+                f"unsupported manifest version {payload.get('version')!r}"
+            )
+        points = [PointRecord(**point) for point in payload.get("points", [])]
+        fields = {
+            key: payload[key]
+            for key in (
+                "run_id",
+                "sweep_id",
+                "scale",
+                "seed",
+                "created_unix",
+                "git_rev",
+                "command",
+                "workers",
+                "spec_hashes",
+                "duration_s",
+                "cache",
+                "trace_events",
+            )
+            if key in payload
+        }
+        return cls(points=points, **fields)
+
+    # -- derived metrics used by `repro stats` --------------------------
+    def executed_durations(self) -> List[float]:
+        return [p.duration_s for p in self.points if not p.cached]
+
+    def cached_count(self) -> int:
+        return sum(1 for p in self.points if p.cached)
+
+    def max_peak_rss_kb(self) -> int:
+        return max((p.peak_rss_kb for p in self.points), default=0)
+
+
+def new_run_id(sweep_id: str) -> str:
+    """Unique, sortable run id: ``<unix-time>-<sweep>-<random>``."""
+    return f"{int(time.time())}-{sweep_id}-{uuid.uuid4().hex[:8]}"
+
+
+def manifest_path(runs_root: Path, run_id: str) -> Path:
+    return Path(runs_root) / f"run-{run_id}.json"
+
+
+def write_manifest(record: RunRecord, runs_root: Optional[Path] = None) -> Path:
+    """Atomically persist ``record``; returns the manifest path."""
+    root = Path(runs_root) if runs_root is not None else default_runs_root()
+    root.mkdir(parents=True, exist_ok=True)
+    path = manifest_path(root, record.run_id)
+    payload = json.dumps(record.to_dict(), indent=2, sort_keys=True) + "\n"
+    descriptor, temp_name = tempfile.mkstemp(
+        dir=root, prefix=".tmp-run-", suffix=".json"
+    )
+    try:
+        with os.fdopen(descriptor, "w", encoding="ascii") as handle:
+            handle.write(payload)
+        os.replace(temp_name, path)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def load_manifest(path: Path) -> RunRecord:
+    with open(path, "r", encoding="ascii") as handle:
+        return RunRecord.from_dict(json.load(handle))
+
+
+def load_manifests(runs_root: Optional[Path] = None) -> List[RunRecord]:
+    """Every readable manifest under ``runs_root``, oldest first."""
+    root = Path(runs_root) if runs_root is not None else default_runs_root()
+    records: List[RunRecord] = []
+    if not root.is_dir():
+        return records
+    for path in sorted(root.glob("run-*.json")):
+        try:
+            records.append(load_manifest(path))
+        except (OSError, ValueError, TypeError, KeyError, json.JSONDecodeError):
+            continue  # unreadable or foreign file: skip, like cache misses
+    records.sort(key=lambda r: (r.created_unix, r.run_id))
+    return records
+
+
+class RunRecorder:
+    """Collects per-point telemetry for one sweep invocation.
+
+    Use :meth:`observe` as (or inside) the runner's progress callback, then
+    :meth:`finalize` to stamp totals and write the manifest::
+
+        recorder = RunRecorder("fig02c", scale=scale, seed=seed)
+        runner = SweepRunner(cache=cache, progress=recorder.observe)
+        runner.run(points)
+        recorder.finalize(cache=cache, runs_root=runs_root)
+    """
+
+    def __init__(
+        self,
+        sweep_id: str,
+        scale: str = "small",
+        seed: Optional[int] = None,
+        command: Optional[Sequence[str]] = None,
+        workers: int = 0,
+        spec_hashes: Optional[Sequence[str]] = None,
+    ) -> None:
+        self.record = RunRecord(
+            run_id=new_run_id(sweep_id),
+            sweep_id=sweep_id,
+            scale=scale,
+            seed=seed,
+            created_unix=int(time.time()),
+            git_rev=git_revision(),
+            command=list(command) if command is not None else list(sys.argv),
+            workers=workers,
+            spec_hashes=list(spec_hashes) if spec_hashes is not None else [],
+        )
+        self._start = time.perf_counter()
+
+    def observe(self, done: int, total: int, outcome: Any) -> None:
+        """Progress-callback shaped collector (`done`/`total` unused)."""
+        point = outcome.point
+        self.record.points.append(
+            PointRecord(
+                scenario_hash=point.scenario_hash,
+                target=point.target,
+                cached=bool(outcome.cached),
+                duration_s=float(outcome.duration_s),
+                worker=int(getattr(outcome, "worker", 0) or 0),
+                peak_rss_kb=int(getattr(outcome, "peak_rss_kb", 0) or 0),
+            )
+        )
+
+    def finalize(
+        self,
+        cache: Any = None,
+        runs_root: Optional[Path] = None,
+        trace_events: Optional[str] = None,
+    ) -> Path:
+        """Stamp duration / cache stats and write the manifest; returns its path."""
+        self.record.duration_s = time.perf_counter() - self._start
+        if cache is not None and getattr(cache, "stats", None) is not None:
+            self.record.cache = cache.stats.as_dict()
+        if trace_events is not None:
+            self.record.trace_events = os.fspath(trace_events)
+        return write_manifest(self.record, runs_root=runs_root)

@@ -1,0 +1,283 @@
+"""The ``repro stats`` reporting surface.
+
+Reads run manifests (:mod:`repro.telemetry.manifest`) and JSONL span event
+logs (:mod:`repro.telemetry.tracer`) and renders:
+
+* a **per-experiment table** -- runs, points, cache hit rate, p50/p95
+  executed point latency, peak worker RSS;
+* a **phase table** -- per span name: calls, cumulative and self time,
+  sorted by cumulative self time (the "slowest phases" view);
+* a **coverage line** -- how much of the executed wall time the root spans
+  account for (instrumentation that loses time shows up here first);
+* an optional **text flame view** (``--flame``) of one point's span tree:
+  the slowest root span, each child drawn as an indented bar scaled to the
+  root's duration, with domain counters inline.
+
+Everything is plain text and computes from on-disk artifacts only, so the
+command works on artifacts downloaded from CI just as well as on a local
+``~/.cache/jellyfish-repro/runs``.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from collections import defaultdict
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.telemetry.manifest import RunRecord
+from repro.telemetry.tracer import summarize_events
+
+#: Width of the bar column in the flame rendering.
+FLAME_BAR_WIDTH = 30
+
+
+def load_events(path: Path) -> List[dict]:
+    """Parse a JSONL span log, skipping unparseable lines (partial writes)."""
+    events: List[dict] = []
+    try:
+        with open(path, "r", encoding="ascii", errors="replace") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if isinstance(record, dict) and "name" in record and "dur_s" in record:
+                    events.append(record)
+    except OSError:
+        return []
+    return events
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (``q`` in [0, 100]); NaN when empty."""
+    if not values:
+        return float("nan")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = int(math.floor(rank))
+    high = int(math.ceil(rank))
+    if low == high:
+        return ordered[low]
+    fraction = rank - low
+    return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
+
+
+# --------------------------------------------------------------------------- #
+# Tables
+# --------------------------------------------------------------------------- #
+def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
+    """Aggregate manifests per sweep id (one output row per experiment)."""
+    grouped: Dict[str, List[RunRecord]] = defaultdict(list)
+    for record in records:
+        grouped[record.sweep_id].append(record)
+    rows = []
+    for sweep_id in sorted(grouped):
+        runs = grouped[sweep_id]
+        executed: List[float] = []
+        cached = 0
+        total_points = 0
+        peak_rss = 0
+        for run in runs:
+            executed.extend(run.executed_durations())
+            cached += run.cached_count()
+            total_points += len(run.points)
+            peak_rss = max(peak_rss, run.max_peak_rss_kb())
+        rows.append(
+            {
+                "experiment": sweep_id,
+                "runs": len(runs),
+                "points": total_points,
+                "cached": cached,
+                "hit_rate": (cached / total_points) if total_points else float("nan"),
+                "p50_s": percentile(executed, 50.0),
+                "p95_s": percentile(executed, 95.0),
+                "peak_rss_kb": peak_rss,
+            }
+        )
+    return rows
+
+
+def phase_rows(events: Sequence[dict], limit: int = 0) -> List[dict]:
+    """Per-phase aggregate rows sorted by cumulative self time, descending."""
+    totals = summarize_events(events)
+    rows = [
+        {
+            "phase": name,
+            "calls": int(entry["calls"]),
+            "cum_s": entry["cum_s"],
+            "self_s": entry["self_s"],
+        }
+        for name, entry in totals.items()
+    ]
+    rows.sort(key=lambda row: (-row["self_s"], row["phase"]))
+    return rows[:limit] if limit else rows
+
+
+def span_coverage(
+    records: Sequence[RunRecord], events: Sequence[dict]
+) -> Optional[Tuple[float, float, float]]:
+    """``(root_span_seconds, executed_seconds, fraction)`` or ``None``.
+
+    Root spans (depth 0) are the outermost instrumented units -- the
+    engine wraps every executed point in one -- so their cumulative time
+    over the executed wall time from the manifests measures how much of
+    the run the instrumentation actually saw.
+    """
+    executed = sum(d for record in records for d in record.executed_durations())
+    if executed <= 0.0 or not events:
+        return None
+    root_seconds = sum(e["dur_s"] for e in events if e.get("depth", 0) == 0)
+    return root_seconds, executed, root_seconds / executed
+
+
+def _format_seconds(seconds: float) -> str:
+    if seconds != seconds:  # NaN
+        return "-"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    if seconds >= 1e-3:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds * 1e6:.0f}us"
+
+
+def render_experiment_table(rows: List[dict]) -> str:
+    lines = [
+        f"{'experiment':<16} {'runs':>5} {'points':>7} {'cached':>7} "
+        f"{'hit rate':>9} {'p50':>9} {'p95':>9} {'peak rss':>10}"
+    ]
+    for row in rows:
+        hit = "-" if row["hit_rate"] != row["hit_rate"] else f"{row['hit_rate']:.0%}"
+        rss = f"{row['peak_rss_kb'] / 1024:.0f} MB" if row["peak_rss_kb"] else "-"
+        lines.append(
+            f"{row['experiment']:<16} {row['runs']:>5} {row['points']:>7} "
+            f"{row['cached']:>7} {hit:>9} {_format_seconds(row['p50_s']):>9} "
+            f"{_format_seconds(row['p95_s']):>9} {rss:>10}"
+        )
+    return "\n".join(lines)
+
+
+def render_phase_table(rows: List[dict]) -> str:
+    lines = [f"{'phase':<28} {'calls':>8} {'cum':>10} {'self':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['phase']:<28} {row['calls']:>8} "
+            f"{_format_seconds(row['cum_s']):>10} "
+            f"{_format_seconds(row['self_s']):>10}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Flame view
+# --------------------------------------------------------------------------- #
+def _children_index(events: Sequence[dict]) -> Dict[Tuple[int, int], List[dict]]:
+    """Map ``(pid, parent span index)`` to children in start order."""
+    children: Dict[Tuple[int, int], List[dict]] = defaultdict(list)
+    for event in events:
+        parent = event.get("parent")
+        if parent is not None:
+            children[(event.get("pid", 0), parent)].append(event)
+    for bucket in children.values():
+        bucket.sort(key=lambda e: e.get("t", 0.0))
+    return children
+
+
+def select_flame_root(events: Sequence[dict], name: str = "") -> Optional[dict]:
+    """Slowest root span, optionally restricted to spans named ``name``."""
+    roots = [
+        e
+        for e in events
+        if e.get("depth", 0) == 0 and (not name or e["name"] == name)
+    ]
+    if not roots and name:  # fall back to any span with that name
+        roots = [e for e in events if e["name"] == name]
+    if not roots:
+        return None
+    return max(roots, key=lambda e: e["dur_s"])
+
+
+def _counters_inline(event: dict) -> str:
+    counters = event.get("counters") or {}
+    if not counters:
+        return ""
+    parts = []
+    for key in sorted(counters):
+        value = counters[key]
+        if isinstance(value, float):
+            parts.append(f"{key}={value:.4g}")
+        else:
+            parts.append(f"{key}={value}")
+    return "  [" + " ".join(parts) + "]"
+
+
+def render_flame(events: Sequence[dict], name: str = "") -> str:
+    """Text flame view of one span tree (the slowest matching root)."""
+    root = select_flame_root(events, name)
+    if root is None:
+        target = f" named {name!r}" if name else ""
+        return f"no spans{target} in the event log"
+    children = _children_index(events)
+    total = root["dur_s"] or 1e-12
+    lines = [
+        f"flame: {root['name']} ({_format_seconds(root['dur_s'])}, "
+        f"pid {root.get('pid', '?')})"
+    ]
+
+    def emit(event: dict, indent: int) -> None:
+        share = max(min(event["dur_s"] / total, 1.0), 0.0)
+        bar = "#" * max(int(round(share * FLAME_BAR_WIDTH)), 1)
+        lines.append(
+            f"{'  ' * indent}{bar:<{FLAME_BAR_WIDTH}} "
+            f"{_format_seconds(event['dur_s']):>9}  {event['name']}"
+            f"{_counters_inline(event)}"
+        )
+        for child in children.get((event.get("pid", 0), event["i"]), []):
+            emit(child, indent + 1)
+
+    emit(root, 0)
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------------- #
+# Top-level rendering
+# --------------------------------------------------------------------------- #
+def render_stats(
+    records: Sequence[RunRecord],
+    events: Sequence[dict] = (),
+    flame: Optional[str] = None,
+    limit: int = 15,
+) -> str:
+    """The full ``repro stats`` output for the given artifacts."""
+    sections: List[str] = []
+    if records:
+        sections.append(
+            f"run manifests: {len(records)}\n" + render_experiment_table(
+                experiment_rows(records)
+            )
+        )
+    else:
+        sections.append("run manifests: none found")
+    if events:
+        sections.append(
+            f"span events: {len(events)}\n" + render_phase_table(
+                phase_rows(events, limit=limit)
+            )
+        )
+        coverage = span_coverage(records, events)
+        if coverage is not None:
+            root_s, executed_s, fraction = coverage
+            sections.append(
+                f"span coverage: {_format_seconds(root_s)} of "
+                f"{_format_seconds(executed_s)} executed wall time "
+                f"({fraction:.0%})"
+            )
+    if flame is not None:
+        sections.append(render_flame(events, flame))
+    return "\n\n".join(sections)

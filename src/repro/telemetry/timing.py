@@ -1,0 +1,98 @@
+"""Shared timing helpers: one clock path for benchmarks and traces.
+
+The ``benchmarks/record_*.py`` scripts and the tracer historically read
+``time.perf_counter`` independently; these helpers route every measurement
+through :data:`repro.telemetry.tracer.clock` so the checked-in
+``BENCH_*.json`` numbers and the JSONL span logs come from a single clock
+path (and a future clock swap -- e.g. ``perf_counter_ns`` -- happens in one
+place).
+
+:func:`best_of` additionally emits a ``bench.best_of`` span per measured
+callable when tracing is enabled, so a traced benchmark run shows its
+repeat structure in ``repro stats`` without the scripts doing anything.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional
+
+from repro.telemetry.tracer import clock, trace
+
+
+class Stopwatch:
+    """Mutable elapsed-seconds holder filled in by :func:`stopwatch`."""
+
+    __slots__ = ("seconds",)
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+
+
+@contextmanager
+def stopwatch() -> Iterator[Stopwatch]:
+    """Time a block on the shared clock: ``with stopwatch() as w: ...``."""
+    watch = Stopwatch()
+    start = clock()
+    try:
+        yield watch
+    finally:
+        watch.seconds = clock() - start
+
+
+def time_call(callable_: Callable, *args, **kwargs):
+    """Run ``callable_`` once; returns ``(value, elapsed_seconds)``."""
+    start = clock()
+    value = callable_(*args, **kwargs)
+    return value, clock() - start
+
+
+def best_of(
+    callable_: Callable[[], object],
+    repeats: int,
+    setup: Optional[Callable[[], object]] = None,
+    label: Optional[str] = None,
+) -> float:
+    """Minimum wall time of ``repeats`` calls (the benchmark scripts' metric).
+
+    ``setup`` runs before each repeat *outside* the timed region (cache
+    clearing in the cold-path benchmarks).  When tracing is enabled the
+    whole measurement is wrapped in one ``bench.best_of`` span carrying the
+    per-repeat timings, so traced benchmark runs are self-describing.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    samples: List[float] = []
+    with trace("bench.best_of", label=label or getattr(callable_, "__name__", "?")) as span:
+        for _ in range(repeats):
+            if setup is not None:
+                setup()
+            start = clock()
+            callable_()
+            samples.append(clock() - start)
+        span.add(repeats=repeats, best_s=min(samples))
+    return min(samples)
+
+
+def timed_best_of(
+    callable_: Callable[[], object],
+    repeats: int,
+    setup: Optional[Callable[[], object]] = None,
+):
+    """Like :func:`best_of` but also returns the last call's value.
+
+    Mirrors the ``timed`` helpers some benchmark scripts use to keep the
+    measured result for cross-engine equality checks:
+    returns ``(best_seconds, last_value)``.
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be at least 1")
+    best = float("inf")
+    value = None
+    for _ in range(repeats):
+        if setup is not None:
+            setup()
+        start = clock()
+        value = callable_()
+        best = min(best, clock() - start)
+    return best, value

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Tuple
 
 from repro.graphs.regular import regular_rows, stub_matching_regular_rows
+from repro.telemetry import trace
 from repro.topologies.core import TopologyCore, TopologyError
 from repro.topologies.jellyfish import JellyfishTopology
 from repro.utils.rng import RngLike, ensure_rng, spawn_seeds
@@ -87,6 +88,17 @@ class EnsembleSpec:
 
 
 def _build_core(spec: EnsembleSpec, instance_seed: int, scratch: dict, ports, servers):
+    with trace(
+        "ensemble.build_core",
+        switches=spec.num_switches,
+        degree=spec.effective_degree,
+    ):
+        return _build_core_inner(spec, instance_seed, scratch, ports, servers)
+
+
+def _build_core_inner(
+    spec: EnsembleSpec, instance_seed: int, scratch: dict, ports, servers
+):
     if spec.method == "stubs":
         rows = stub_matching_regular_rows(
             spec.num_switches,

@@ -1,0 +1,469 @@
+"""Tests for the instrumentation layer (repro.telemetry).
+
+Covers the tracer's span nesting and disabled-mode no-op contract, the
+JSONL event sink, run-manifest round-trips through the ``repro stats``
+CLI, cache counters under the sharded multiprocessing runner, and -- the
+load-bearing guarantee -- that instrumented kernels stay bit-identical to
+their retained ``_reference`` implementations while tracing is active.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry import tracer as tracer_module
+from repro.telemetry.log import configure as configure_logging
+from repro.telemetry.log import get_logger, verbosity_to_level
+from repro.telemetry.manifest import (
+    PointRecord,
+    RunRecord,
+    RunRecorder,
+    load_manifest,
+    load_manifests,
+    write_manifest,
+)
+from repro.telemetry.report import (
+    load_events,
+    percentile,
+    render_flame,
+    render_stats,
+    span_coverage,
+)
+from repro.telemetry.timing import best_of, timed_best_of
+from repro.telemetry.tracer import (
+    NULL_SPAN,
+    count,
+    disable,
+    enable,
+    get_tracer,
+    is_enabled,
+    trace,
+)
+
+
+@pytest.fixture(autouse=True)
+def _pristine_tracer():
+    """Every test starts and ends with tracing disabled."""
+    disable()
+    yield
+    disable()
+
+
+class TestSpans:
+    def test_disabled_trace_is_shared_noop(self):
+        assert not is_enabled()
+        span = trace("anything", links=3)
+        assert span is NULL_SPAN
+        with span as inner:
+            inner.add(more=1)
+        count("ignored", 5)  # must not raise, must not record anything
+        assert get_tracer() is None
+
+    def test_nesting_records_parent_depth_and_self_time(self):
+        tracer = enable()
+        with trace("outer", a=1):
+            with trace("inner"):
+                pass
+        events = list(tracer.events)
+        assert [e["name"] for e in events] == ["inner", "outer"]
+        inner, outer = events
+        assert outer["depth"] == 0 and outer["parent"] is None
+        assert inner["depth"] == 1 and inner["parent"] == outer["i"]
+        assert outer["counters"] == {"a": 1}
+        # Self time excludes the child's duration.
+        assert 0.0 <= outer["self_s"] <= outer["dur_s"]
+        assert outer["dur_s"] >= inner["dur_s"]
+
+    def test_add_accumulates_numeric_counters(self):
+        tracer = enable()
+        with trace("k", n=2) as span:
+            span.add(n=3, label="x")
+        (event,) = tracer.events
+        assert event["counters"] == {"n": 5, "label": "x"}
+
+    def test_count_credits_innermost_span(self):
+        tracer = enable()
+        with trace("outer"):
+            with trace("inner"):
+                count("spurs", 7)
+                count("spurs", 2)
+        inner = next(e for e in tracer.events if e["name"] == "inner")
+        outer = next(e for e in tracer.events if e["name"] == "outer")
+        assert inner["counters"] == {"spurs": 9}
+        assert outer["counters"] == {}
+
+    def test_count_without_span_lands_on_root(self):
+        tracer = enable()
+        count("orphan", 1)
+        assert tracer.root_counters == {"orphan": 1}
+
+    def test_exception_inside_span_still_pops_it(self):
+        tracer = enable()
+        with pytest.raises(RuntimeError):
+            with trace("boom"):
+                raise RuntimeError("x")
+        assert tracer._stack == []
+        assert [e["name"] for e in tracer.events] == ["boom"]
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = enable(ring_size=4)
+        for i in range(10):
+            with trace(f"s{i}"):
+                pass
+        assert [e["name"] for e in tracer.events] == ["s6", "s7", "s8", "s9"]
+
+    def test_jsonl_sink_round_trips(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        enable(jsonl_path=str(path))
+        with trace("a", n=1):
+            with trace("b"):
+                pass
+        disable()  # closes the sink
+        events = load_events(path)
+        assert [e["name"] for e in events] == ["b", "a"]
+        assert all(e["pid"] == os.getpid() for e in events)
+
+    def test_env_var_activates_tracing_at_import(self, tmp_path):
+        env = dict(os.environ, REPRO_TRACE="1")
+        env["PYTHONPATH"] = "src"
+        proc = subprocess.run(
+            [sys.executable, "-c", "import repro.telemetry as t; print(t.is_enabled())"],
+            capture_output=True,
+            text=True,
+            env=env,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+        assert proc.stdout.strip() == "True", proc.stderr
+
+
+class TestTiming:
+    def test_best_of_returns_minimum(self):
+        calls = []
+        assert best_of(lambda: calls.append(1), 3) >= 0.0
+        assert len(calls) == 3
+
+    def test_best_of_runs_setup_outside_timed_region(self):
+        order = []
+        best_of(lambda: order.append("run"), 2, setup=lambda: order.append("setup"))
+        assert order == ["setup", "run", "setup", "run"]
+
+    def test_best_of_emits_span_when_tracing(self):
+        tracer = enable()
+        best_of(lambda: None, 2, label="probe")
+        (event,) = [e for e in tracer.events if e["name"] == "bench.best_of"]
+        assert event["counters"]["label"] == "probe"
+        assert event["counters"]["repeats"] == 2
+
+    def test_timed_best_of_returns_last_value(self):
+        values = iter([10, 20])
+        best, value = timed_best_of(lambda: next(values), 2)
+        assert value == 20 and best >= 0.0
+
+    def test_repeats_must_be_positive(self):
+        with pytest.raises(ValueError):
+            best_of(lambda: None, 0)
+
+
+class TestLogging:
+    def test_verbosity_mapping(self):
+        import logging
+
+        assert verbosity_to_level(0) == logging.WARNING
+        assert verbosity_to_level(1) == logging.INFO
+        assert verbosity_to_level(2) == logging.DEBUG
+        assert verbosity_to_level(5) == logging.DEBUG
+
+    def test_configure_is_idempotent(self):
+        root = configure_logging(0)
+        before = list(root.handlers)
+        configure_logging(1)
+        configure_logging(2)
+        assert list(get_logger().handlers) == before
+
+    def test_loggers_live_under_repro_hierarchy(self):
+        assert get_logger("sweep.fig01").name == "repro.sweep.fig01"
+        assert get_logger().name == "repro"
+
+
+class TestManifest:
+    def _record(self):
+        record = RunRecord(run_id="1-t-abc", sweep_id="fig01", seed=3)
+        record.points = [
+            PointRecord("a" * 64, "t", cached=False, duration_s=0.5, worker=11),
+            PointRecord("b" * 64, "t", cached=True, duration_s=0.001),
+        ]
+        return record
+
+    def test_write_and_load_round_trip(self, tmp_path):
+        record = self._record()
+        path = write_manifest(record, runs_root=tmp_path)
+        assert path.name == "run-1-t-abc.json"
+        loaded = load_manifest(path)
+        assert loaded == record
+
+    def test_load_manifests_skips_foreign_files(self, tmp_path):
+        write_manifest(self._record(), runs_root=tmp_path)
+        (tmp_path / "run-junk.json").write_text("{not json")
+        (tmp_path / "run-wrong.json").write_text(json.dumps({"version": 99}))
+        records = load_manifests(tmp_path)
+        assert [r.run_id for r in records] == ["1-t-abc"]
+
+    def test_derived_metrics(self):
+        record = self._record()
+        assert record.executed_durations() == [0.5]
+        assert record.cached_count() == 1
+        assert record.max_peak_rss_kb() == 0
+
+    def test_recorder_collects_outcomes_and_cache_stats(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.runner import SweepRunner
+        from repro.engine.spec import ScenarioSpec
+
+        spec = ScenarioSpec.grid(
+            "repro.experiments.fig02a_bisection:jellyfish_curve_point",
+            num_switches=720,
+            ports=24,
+            servers=[720, 1440],
+        )
+        cache = ResultCache(tmp_path / "cache")
+        recorder = RunRecorder("fig02a", seed=0, command=["test"], workers=0)
+        runner = SweepRunner(cache=cache, progress=recorder.observe)
+        runner.run(spec.points())
+        path = recorder.finalize(cache=cache, runs_root=tmp_path / "runs")
+        loaded = load_manifest(path)
+        assert len(loaded.points) == 2
+        assert all(not p.cached for p in loaded.points)
+        assert all(p.worker == os.getpid() for p in loaded.points)
+        assert all(p.peak_rss_kb > 0 for p in loaded.points)
+        assert loaded.cache["misses"] == 2 and loaded.cache["writes"] == 2
+        assert loaded.duration_s > 0
+
+
+class TestCachedPointTiming:
+    def test_cached_points_report_lookup_time(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.runner import SweepRunner
+        from repro.engine.spec import ScenarioSpec
+
+        spec = ScenarioSpec.grid(
+            "repro.experiments.fig02a_bisection:jellyfish_curve_point",
+            num_switches=720,
+            ports=24,
+            servers=[720],
+        )
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run(spec.points())
+        (outcome,) = SweepRunner(cache=cache).run(spec.points())
+        assert outcome.cached
+        assert outcome.duration_s > 0.0  # actual lookup time, not a flat 0.0
+        assert cache.stats.lookup_s > 0.0
+        assert cache.stats.store_s > 0.0
+
+    def test_cache_clear_counts_evictions(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.runner import SweepRunner
+        from repro.engine.spec import ScenarioSpec
+
+        spec = ScenarioSpec.grid(
+            "repro.experiments.fig02a_bisection:jellyfish_curve_point",
+            num_switches=720,
+            ports=24,
+            servers=[720],
+        )
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run(spec.points())
+        assert cache.clear() == 1
+        assert cache.stats.evictions == 1
+        assert "1 evictions" in str(cache.stats)
+
+
+class TestShardedRunner:
+    def test_cache_counters_and_worker_pids_with_pool(self, tmp_path):
+        from repro.engine.cache import ResultCache
+        from repro.engine.runner import SweepRunner
+        from repro.engine.spec import ScenarioSpec
+
+        spec = ScenarioSpec.grid(
+            "repro.experiments.fig02a_bisection:jellyfish_curve_point",
+            num_switches=720,
+            ports=24,
+            servers=[720, 1440, 2160],
+        )
+        cache = ResultCache(tmp_path)
+        cold = SweepRunner(workers=2, cache=cache).run(spec.points())
+        assert cache.stats.misses == 3 and cache.stats.writes == 3
+        executed = [o for o in cold if not o.cached]
+        assert executed and all(o.worker not in (0, os.getpid()) for o in executed)
+        assert all(o.peak_rss_kb > 0 for o in executed)
+
+        warm_cache = ResultCache(tmp_path)
+        warm = SweepRunner(workers=2, cache=warm_cache).run(spec.points())
+        assert warm_cache.stats.hits == 3 and warm_cache.stats.misses == 0
+        assert all(o.cached for o in warm)
+        assert [o.value for o in warm] == [o.value for o in cold]
+
+
+class TestInstrumentedParity:
+    """Tracing ON must not perturb kernel results (bit-identical parity)."""
+
+    def test_maxmin_matches_reference_with_tracing_enabled(self):
+        from repro.flow._reference import max_min_fair_allocation_reference
+        from repro.flow.maxmin import FlowSpec, max_min_fair_allocation
+
+        flows = [
+            FlowSpec("f1", paths=[(0, 1, 2), (0, 3, 2)], demand=1.0),
+            FlowSpec("f2", paths=[(2, 1, 0)], demand=0.7),
+            FlowSpec("f3", paths=[(1, 2)], demand=2.0, subflow_caps=[0.4]),
+        ]
+        capacity = {(0, 1): 1.0, (1, 2): 0.5, (0, 3): 0.25, (3, 2): 1.0, (2, 1): 1.0, (1, 0): 1.0}
+        reference = max_min_fair_allocation_reference(flows, capacity)
+        tracer = enable()
+        traced = max_min_fair_allocation(flows, capacity)
+        assert traced.flow_rates == reference.flow_rates
+        assert traced.subflow_rates == reference.subflow_rates
+        assert traced.link_loads == reference.link_loads
+        (event,) = [e for e in tracer.events if e["name"] == "maxmin.fill"]
+        assert event["counters"]["saturation_rounds"] >= 1
+
+    def test_aimd_matches_reference_with_tracing_enabled(self, small_jellyfish):
+        from repro.simulation._reference import simulate_aimd_reference
+        from repro.simulation.aimd import AimdConfig, simulate_aimd
+
+        config = AimdConfig(rounds=60, warmup_rounds=10)
+        reference = simulate_aimd_reference(small_jellyfish, config=config, rng=5)
+        tracer = enable()
+        traced = simulate_aimd(small_jellyfish, config=config, rng=5)
+        assert traced.flow_throughputs == reference.flow_throughputs
+        assert traced.average_throughput == reference.average_throughput
+        assert traced.fairness == reference.fairness
+        assert traced.convergence_round == reference.convergence_round
+        names = {e["name"] for e in tracer.events}
+        assert {"aimd.compile", "aimd.rounds"} <= names
+
+    def test_bfs_and_yen_match_reference_with_tracing_enabled(self, small_jellyfish):
+        from repro.graphs.csr import batched_hop_distances, clear_csr_cache
+        from repro.routing._reference import (
+            all_pairs_hop_distances_reference,
+            k_shortest_paths_reference,
+        )
+        from repro.routing.ksp import k_shortest_paths
+
+        from repro.graphs.csr import csr_graph
+
+        graph = small_jellyfish.graph
+        reference_dist = all_pairs_hop_distances_reference(graph)
+        nodes = sorted(graph.nodes)
+        source, target = nodes[0], nodes[-1]
+        reference_paths = k_shortest_paths_reference(graph, source, target, 4)
+        tracer = enable()
+        clear_csr_cache()  # drop memoized BFS rows/KSP results: trace fresh
+        traced_dist = batched_hop_distances(graph)
+        order = csr_graph(graph).nodes
+        for i, u in enumerate(order):
+            for j, v in enumerate(order):
+                assert traced_dist[i, j] == reference_dist[u][v]
+        assert k_shortest_paths(graph, source, target, 4) == reference_paths
+        batch = [e for e in tracer.events if e["name"] == "bfs.batch"]
+        assert batch and all(e["counters"]["frontier_sweeps"] >= 1 for e in batch)
+
+
+class TestReport:
+    def test_percentile_interpolates(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 0) == 1.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 50) == 2.5
+        assert percentile([], 50) != percentile([], 50)  # NaN
+
+    def test_span_coverage_and_flame(self):
+        tracer = enable()
+        with trace("engine.point"):
+            with trace("lp.solve", method="highs"):
+                pass
+        events = list(tracer.events)
+        record = RunRecord(run_id="1-x-a", sweep_id="fig02c")
+        record.points = [
+            PointRecord("c" * 64, "t", cached=False, duration_s=events[-1]["dur_s"])
+        ]
+        coverage = span_coverage([record], events)
+        assert coverage is not None
+        root_s, executed_s, fraction = coverage
+        assert fraction == pytest.approx(1.0)
+        flame = render_flame(events)
+        assert "engine.point" in flame.splitlines()[0]
+        assert "lp.solve" in flame and "method=highs" in flame
+
+    def test_render_stats_mentions_everything(self):
+        tracer = enable()
+        with trace("maxmin.fill"):
+            pass
+        record = RunRecord(run_id="1-y-b", sweep_id="fig09")
+        record.points = [
+            PointRecord("d" * 64, "t", cached=False, duration_s=0.25),
+            PointRecord("e" * 64, "t", cached=True, duration_s=0.001),
+        ]
+        text = render_stats([record], list(tracer.events), flame="maxmin.fill")
+        assert "fig09" in text
+        assert "maxmin.fill" in text
+        assert "hit rate" in text
+        assert "flame: maxmin.fill" in text
+
+
+class TestStatsCli:
+    def test_traced_sweep_then_stats(self, tmp_path, capsys):
+        from repro.cli import main
+
+        cache_dir = tmp_path / "cache"
+        runs_dir = tmp_path / "runs"
+        trace_path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "run",
+                    "fig01",
+                    "--seed",
+                    "2",
+                    "--cache-dir",
+                    str(cache_dir),
+                    "--runs-dir",
+                    str(runs_dir),
+                    "--trace",
+                    str(trace_path),
+                ]
+            )
+            == 0
+        )
+        disable()  # the CLI enabled a global tracer; tear it down
+        assert list(runs_dir.glob("run-*.json"))
+        assert trace_path.is_file()
+        capsys.readouterr()
+
+        assert main(["stats", "--runs-dir", str(runs_dir), "--flame"]) == 0
+        out = capsys.readouterr().out
+        assert "run manifests: 1" in out
+        assert "fig01" in out
+        assert "engine.point" in out
+        assert "span coverage" in out
+        assert "flame: engine.point" in out
+
+    def test_stats_with_no_artifacts(self, tmp_path, capsys):
+        from repro.cli import main
+
+        assert main(["stats", "--runs-dir", str(tmp_path / "nothing")]) == 0
+        assert "run manifests: none found" in capsys.readouterr().out
+
+    def test_sweep_run_without_cache_or_runs_dir_writes_no_manifest(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+        from repro.telemetry.manifest import RUNS_DIR_ENV
+
+        monkeypatch.delenv(RUNS_DIR_ENV, raising=False)
+        monkeypatch.chdir(tmp_path)
+        assert main(["sweep", "run", "fig01", "--no-cache"]) == 0
+        assert not list(tmp_path.rglob("run-*.json"))
