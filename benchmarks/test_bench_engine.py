@@ -100,3 +100,63 @@ def test_bench_registered_sweep_with_cache(benchmark, tmp_path):
     assert warm.rows == cold.rows
     assert warm.rows == run_experiment("fig02a").rows
     assert warm_cache.stats.misses == 0
+
+
+def _baseline_execute(indexed):
+    """The seed's unsupervised pool body: execute one (index, point) pair."""
+    index, point = indexed
+    return index, point.execute()
+
+
+def _baseline_imap_unordered(points, workers):
+    """The pre-supervisor execution loop: bare pool.imap_unordered."""
+    values = [None] * len(points)
+    with multiprocessing.Pool(processes=workers) as pool:
+        for index, value in pool.imap_unordered(
+            _baseline_execute, list(enumerate(points))
+        ):
+            values[index] = value
+    return values
+
+
+def test_bench_supervisor_overhead(benchmark):
+    """Fault-free supervised execution must stay within 3% of the bare pool.
+
+    The supervisor adds per-point pipe round-trips, deadline bookkeeping and
+    sentinel waits; on a healthy sweep all of that must be noise against the
+    LP solves.  Best-of-3 on both sides squeezes out scheduler flukes, and a
+    small absolute epsilon keeps a sub-second grid from failing on a
+    microsecond-level wobble.
+    """
+    points = expand([THROUGHPUT_GRID])
+    workers = 2
+
+    baseline_values, baseline_time = None, float("inf")
+    for _ in range(3):
+        values, elapsed = _timed(_baseline_imap_unordered, points, workers)
+        baseline_values = values
+        baseline_time = min(baseline_time, elapsed)
+
+    timing = {"supervised": float("inf")}
+
+    def supervised_run():
+        runner = SweepRunner(workers=workers, timeout_s=600.0)
+        values, elapsed = _timed(runner.run_values, points)
+        timing["supervised"] = min(timing["supervised"], elapsed)
+        assert runner.fault_stats.quarantined == 0
+        return values
+
+    supervised_values = benchmark.pedantic(supervised_run, iterations=1, rounds=3)
+    supervised_time = timing["supervised"]
+
+    assert supervised_values == baseline_values
+    overhead = supervised_time / max(baseline_time, 1e-9) - 1.0
+    print()
+    print(
+        f"supervisor overhead: baseline {baseline_time:.3f}s, "
+        f"supervised {supervised_time:.3f}s ({overhead:+.1%})"
+    )
+    assert supervised_time <= baseline_time * 1.03 + 0.05, (
+        f"supervised runner {supervised_time:.3f}s exceeds 3% overhead over "
+        f"bare imap_unordered {baseline_time:.3f}s"
+    )

@@ -22,6 +22,13 @@ disk::
     jellyfish-repro sweep list
     jellyfish-repro sweep show fig02a --scale paper
 
+Supervised execution: per-point timeouts, bounded retries, and resumable
+runs (an interrupted or partially-failed sweep picks up where it left off,
+skipping every journaled point)::
+
+    jellyfish-repro sweep run fig02a --workers 4 --timeout 300
+    jellyfish-repro sweep run --resume 1754650000-fig02a-1a2b3c4d
+
 Construct and content-hash topologies directly (array-native; no figure)::
 
     jellyfish-repro topo build --switches 80 --ports 12 --degree 9 --seed 3
@@ -111,12 +118,40 @@ def build_sweep_parser() -> argparse.ArgumentParser:
     run_parser = subparsers.add_parser(
         "run", parents=[common], help="run sweeps and print their result tables"
     )
-    run_parser.add_argument("sweeps", nargs="+", help="sweep ids (e.g. fig01 table1)")
+    run_parser.add_argument(
+        "sweeps",
+        nargs="*",
+        help="sweep ids (e.g. fig01 table1); optional with --resume",
+    )
     run_parser.add_argument(
         "--workers",
         type=_nonnegative_int,
         default=0,
         help="worker processes for sharded execution (0 = serial in-process)",
+    )
+    run_parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-point wall-clock timeout; overrides the sweep's registry "
+        "default (0 disables deadlines). Timeouts force supervised "
+        "execution even with --workers 0",
+    )
+    run_parser.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="execution attempts per point before quarantine (default 3)",
+    )
+    run_parser.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a previous run: replay its completion journal (points "
+        "already finished are skipped, not re-executed) and run the rest. "
+        "Sweep id, scale and seed come from the run's manifest",
     )
     run_parser.add_argument(
         "--cache-dir",
@@ -215,17 +250,50 @@ def _resolve_runs_root(args: argparse.Namespace, cache):
     return None
 
 
+class _SweepInterrupted(Exception):
+    """Raised from the SIGINT/SIGTERM handler to unwind a running sweep."""
+
+    def __init__(self, signum: int) -> None:
+        super().__init__(f"interrupted by signal {signum}")
+        self.signum = signum
+
+
+def _print_failure_report(sweep_id: str, outcomes) -> None:
+    """Human-readable quarantine report for a sweep that lost points."""
+    failures = [o for o in outcomes if o.status == "failed"]
+    print(
+        f"sweep {sweep_id}: {len(failures)} of {len(outcomes)} point(s) "
+        f"quarantined after retries; result table not assembled"
+    )
+    for outcome in failures:
+        failure = outcome.failure
+        line = (
+            f"  {outcome.point.scenario_hash[:12]} {outcome.point.target} "
+            f"{failure.kind} after {outcome.attempts} attempt(s)"
+        )
+        if failure.exitcode is not None:
+            line += f" (exit {failure.exitcode})"
+        print(f"{line}: {failure.message}")
+
+
 def _sweep_run(args: argparse.Namespace) -> int:
     import os
+    import signal
 
     from repro.engine import (
         ResultCache,
         SweepRunner,
         default_cache_root,
-        run_sweep,
-        sweep_specs,
+        expand,
+        get_sweep,
     )
     from repro.telemetry import RunRecorder, enable, enable_in_subprocesses, get_logger
+    from repro.telemetry.manifest import (
+        journal_path,
+        load_journal,
+        load_manifest,
+        manifest_path,
+    )
     from repro.telemetry.tracer import get_tracer
 
     log = get_logger("sweep")
@@ -235,6 +303,50 @@ def _sweep_run(args: argparse.Namespace) -> int:
         root = args.cache_dir if args.cache_dir is not None else default_cache_root()
         cache = ResultCache(root)
     runs_root = _resolve_runs_root(args, cache)
+
+    # --resume: sweep identity (id / scale / seed) comes from the previous
+    # run's manifest; its journal supplies the already-completed values.
+    completed = None
+    resumed_from = None
+    if args.resume:
+        if runs_root is None:
+            print(
+                "error: --resume needs a runs directory (give --runs-dir, set "
+                "$REPRO_RUNS_DIR, or enable the cache)",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            previous = load_manifest(manifest_path(runs_root, args.resume))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(
+                f"error: cannot load manifest for run {args.resume!r} under "
+                f"{runs_root}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        if args.sweeps and args.sweeps != [previous.sweep_id]:
+            print(
+                f"error: run {args.resume} was sweep {previous.sweep_id!r}, "
+                f"not {' '.join(args.sweeps)!r}",
+                file=sys.stderr,
+            )
+            return 2
+        sweeps = [previous.sweep_id]
+        scale = previous.scale
+        seed = previous.seed if previous.seed is not None else args.seed
+        completed = load_journal(journal_path(runs_root, args.resume))
+        resumed_from = args.resume
+        log.info(
+            "resuming run %s: %d journaled point(s)", args.resume, len(completed)
+        )
+    else:
+        sweeps = args.sweeps
+        scale = args.scale
+        seed = args.seed
+    if not sweeps:
+        print("error: no sweeps given (and no --resume)", file=sys.stderr)
+        return 2
 
     # --trace: enable the tracer with a JSONL sink and export it to worker
     # processes; a bare --trace picks a path beside the run manifests.
@@ -250,52 +362,121 @@ def _sweep_run(args: argparse.Namespace) -> int:
     elif get_tracer() is not None:
         trace_path = get_tracer().jsonl_path  # pre-enabled via $REPRO_TRACE
 
+    # SIGINT/SIGTERM unwind the sweep loop: the supervised pool is torn
+    # down by the runner's finally block, the manifest and journal are
+    # flushed with whatever completed, and we exit 128+signum.
+    def _on_signal(signum, frame):
+        raise _SweepInterrupted(signum)
+
+    previous_handlers = {}
+    try:
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous_handlers[signum] = signal.signal(signum, _on_signal)
+    except ValueError:  # pragma: no cover - not the main thread
+        previous_handlers = {}
+
     exit_code = 0
-    for sweep_id in args.sweeps:
-        sweep_log = get_logger(f"sweep.{sweep_id}")
+    recorder = None
+    runner = None
+    try:
+        for sweep_id in sweeps:
+            sweep_log = get_logger(f"sweep.{sweep_id}")
 
-        def progress(done: int, total: int, outcome) -> None:
-            if args.quiet:
-                return
-            if outcome.cached:
-                source = f"cache {outcome.duration_s * 1e3:.1f}ms"
+            def progress(done: int, total: int, outcome) -> None:
+                if args.quiet:
+                    return
+                if outcome.status == "failed":
+                    source = f"FAILED ({outcome.failure.kind})"
+                elif outcome.cached:
+                    source = f"cache {outcome.duration_s * 1e3:.1f}ms"
+                else:
+                    source = f"{outcome.duration_s:.2f}s"
+                sweep_log.info(
+                    "[%d/%d] %s %s",
+                    done,
+                    total,
+                    outcome.point.scenario_hash[:12],
+                    source,
+                )
+
+            try:
+                sweep = get_sweep(sweep_id)
+                specs = sweep.build(scale, seed)
+            except KeyError as error:
+                print(f"error: {error}", file=sys.stderr)
+                exit_code = 2
+                continue
+            timeout_s = args.timeout if args.timeout is not None else sweep.timeout_s
+            if timeout_s is not None and timeout_s <= 0:
+                timeout_s = None
+            recorder = RunRecorder(
+                sweep_id,
+                scale=scale,
+                seed=seed,
+                workers=args.workers,
+                spec_hashes=[spec.spec_hash for spec in specs],
+                runs_root=runs_root,
+                resumed_from=resumed_from,
+            )
+
+            def observe(done: int, total: int, outcome) -> None:
+                recorder.observe(done, total, outcome)
+                progress(done, total, outcome)
+
+            runner = SweepRunner(
+                workers=args.workers,
+                cache=cache,
+                progress=observe,
+                timeout_s=timeout_s,
+                max_attempts=args.max_attempts,
+                completed=completed,
+                raise_on_failure=False,
+            )
+            outcomes = runner.run(expand(specs))
+            if runs_root is not None:
+                manifest = recorder.finalize(
+                    cache=cache,
+                    runs_root=runs_root,
+                    trace_events=trace_path,
+                    faults=runner.fault_stats.as_dict(),
+                )
+                sweep_log.info("manifest %s", manifest)
+            if any(o.status == "failed" for o in outcomes):
+                _print_failure_report(sweep_id, outcomes)
+                exit_code = 1
             else:
-                source = f"{outcome.duration_s:.2f}s"
-            sweep_log.info(
-                "[%d/%d] %s %s",
-                done,
-                total,
-                outcome.point.scenario_hash[:12],
-                source,
-            )
-
-        try:
-            specs = sweep_specs(sweep_id, scale=args.scale, seed=args.seed)
-        except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
-            exit_code = 2
-            continue
-        recorder = RunRecorder(
-            sweep_id,
-            scale=args.scale,
-            seed=args.seed,
-            workers=args.workers,
-            spec_hashes=[spec.spec_hash for spec in specs],
-        )
-
-        def observe(done: int, total: int, outcome) -> None:
-            recorder.observe(done, total, outcome)
-            progress(done, total, outcome)
-
-        runner = SweepRunner(workers=args.workers, cache=cache, progress=observe)
-        result = run_sweep(sweep_id, scale=args.scale, seed=args.seed, runner=runner)
-        if runs_root is not None:
+                result = sweep.assemble(
+                    [o.value for o in outcomes], scale, seed
+                )
+                print(format_table(result))
+            print()
+            recorder = None
+            runner = None
+    except _SweepInterrupted as interrupt:
+        if recorder is not None and runs_root is not None:
+            faults = runner.fault_stats.as_dict() if runner is not None else None
             manifest = recorder.finalize(
-                cache=cache, runs_root=runs_root, trace_events=trace_path
+                cache=cache,
+                runs_root=runs_root,
+                trace_events=trace_path,
+                faults=faults,
+                interrupted=True,
             )
-            sweep_log.info("manifest %s", manifest)
-        print(format_table(result))
-        print()
+            print(
+                f"interrupted by signal {interrupt.signum}; partial results "
+                f"saved, resume with: sweep run --resume {recorder.record.run_id}",
+                file=sys.stderr,
+            )
+            log.info("manifest %s", manifest)
+        else:
+            print(
+                f"interrupted by signal {interrupt.signum}", file=sys.stderr
+            )
+        return 128 + interrupt.signum
+    finally:
+        for signum, handler in previous_handlers.items():
+            signal.signal(signum, handler)
+
     if cache is not None:
         log.info("cache: %s at %s", cache.stats, cache.root)
     return exit_code

@@ -5,9 +5,10 @@ The engine is the shared execution layer behind the paper's evaluation grid
 
 - :mod:`repro.engine.spec` -- :class:`ScenarioSpec` describes a sweep
   declaratively and expands it into content-hashed :class:`ScenarioPoint`\\ s.
-- :mod:`repro.engine.runner` -- :class:`SweepRunner` shards points across a
-  ``multiprocessing`` pool with per-point seeding, progress reporting and
-  deterministic result ordering.
+- :mod:`repro.engine.runner` -- :class:`SweepRunner` shards points across
+  supervised worker processes with per-point seeding, wall-clock timeouts,
+  bounded retry with deterministic backoff, quarantine of poison points,
+  progress reporting and deterministic result ordering.
 - :mod:`repro.engine.cache` -- :class:`ResultCache` stores each scenario's
   value on disk under its content hash, so re-runs and overlapping sweeps
   hit cache instead of re-solving LPs.
@@ -18,7 +19,15 @@ See ``docs/engine.md`` for semantics and examples.
 """
 
 from repro.engine.cache import CacheStats, ResultCache, default_cache_root
-from repro.engine.runner import PointOutcome, SweepError, SweepRunner
+from repro.engine.runner import (
+    FaultStats,
+    PointFailure,
+    PointOutcome,
+    SweepError,
+    SweepFailure,
+    SweepRunner,
+    backoff_delay,
+)
 from repro.engine.spec import (
     ScenarioPoint,
     ScenarioSpec,
@@ -42,13 +51,17 @@ from repro.engine.registry import (
 
 __all__ = [
     "CacheStats",
+    "FaultStats",
+    "PointFailure",
     "PointOutcome",
     "ResultCache",
     "ScenarioPoint",
     "ScenarioSpec",
     "SweepDef",
     "SweepError",
+    "SweepFailure",
     "SweepRunner",
+    "backoff_delay",
     "canonical_json",
     "content_hash",
     "default_cache_root",

@@ -9,7 +9,13 @@ intersects an old one, serves the intersection from disk instead of
 re-solving LPs.
 
 Writes are atomic (temp file + ``os.replace``) so a killed run never leaves
-a truncated entry; unreadable or corrupt entries are treated as misses.
+a truncated entry, and every envelope carries a checksum of its value
+(sha256 over canonical JSON) verified on read.  Entries that fail to parse
+or fail the checksum -- torn writes from a power loss, bit rot, manual
+edits -- are *quarantined*: moved to a ``corrupt/`` subdirectory rather
+than silently treated as misses, counted in :attr:`CacheStats.corruptions`,
+and logged, so ``repro stats`` surfaces cache damage instead of hiding it
+behind re-execution.
 """
 
 from __future__ import annotations
@@ -21,13 +27,22 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Optional, Tuple
 
-from repro.engine.spec import ScenarioPoint, canonical_json
+from repro.engine.spec import ScenarioPoint, canonical_json, content_hash
+from repro.telemetry import get_logger
 from repro.telemetry.tracer import clock
+from repro.testing.chaos import active_plan
 
-CACHE_FORMAT_VERSION = 1
+# Version 2 added the per-entry value checksum; version-1 entries (no
+# checksum to verify) read as plain misses, not corruption.
+CACHE_FORMAT_VERSION = 2
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+#: Subdirectory (under the cache root) holding quarantined corrupt entries.
+QUARANTINE_DIR = "corrupt"
+
+log = get_logger("cache")
 
 
 def default_cache_root() -> Path:
@@ -44,13 +59,15 @@ class CacheStats:
 
     ``lookup_s`` and ``store_s`` accumulate the wall time spent in cache I/O
     (fetches and stores respectively), so run manifests can report how much
-    of a sweep went to the cache itself.
+    of a sweep went to the cache itself.  ``corruptions`` counts entries
+    quarantined because they failed to parse or failed their checksum.
     """
 
     hits: int = 0
     misses: int = 0
     writes: int = 0
     evictions: int = 0
+    corruptions: int = 0
     lookup_s: float = 0.0
     store_s: float = 0.0
 
@@ -60,6 +77,7 @@ class CacheStats:
             "misses": self.misses,
             "writes": self.writes,
             "evictions": self.evictions,
+            "corruptions": self.corruptions,
             "lookup_s": self.lookup_s,
             "store_s": self.store_s,
         }
@@ -68,6 +86,8 @@ class CacheStats:
         text = f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
         if self.evictions:
             text += f", {self.evictions} evictions"
+        if self.corruptions:
+            text += f", {self.corruptions} corrupt"
         return text
 
 
@@ -86,6 +106,10 @@ class ResultCache:
         """File that does / would hold the entry for ``scenario_hash``."""
         return self.root / scenario_hash[:2] / f"{scenario_hash}.json"
 
+    def quarantine_dir(self) -> Path:
+        """Directory corrupt entries are moved to (may not exist yet)."""
+        return self.root / QUARANTINE_DIR
+
     def fetch(self, point: ScenarioPoint) -> Tuple[bool, Any]:
         """Look up ``point``; returns ``(hit, value)`` with ``value=None`` on miss."""
         start = clock()
@@ -102,15 +126,50 @@ class ResultCache:
         try:
             with open(path, "r", encoding="ascii") as handle:
                 envelope = json.load(handle)
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+        except FileNotFoundError:
             return False, None
-        if not isinstance(envelope, dict) or "value" not in envelope:
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            # Unparseable bytes under a valid entry name: a torn write or
+            # bit rot, not a cold cache.  Quarantine so it's investigable.
+            self._quarantine(path, scenario_hash, "unparseable JSON")
+            return False, None
+        except OSError:
+            return False, None
+        if not isinstance(envelope, dict):
+            self._quarantine(path, scenario_hash, "envelope is not an object")
             return False, None
         if envelope.get("version") != CACHE_FORMAT_VERSION:
-            # Entries written by an incompatible engine version are misses;
-            # bump CACHE_FORMAT_VERSION whenever result semantics change.
+            # Entries written by an incompatible engine version are plain
+            # misses (they were valid when written); bump
+            # CACHE_FORMAT_VERSION whenever result semantics change.
             return False, None
-        return True, envelope["value"]
+        if "value" not in envelope:
+            self._quarantine(path, scenario_hash, "missing value")
+            return False, None
+        value = envelope["value"]
+        if envelope.get("checksum") != content_hash(value):
+            self._quarantine(path, scenario_hash, "checksum mismatch")
+            return False, None
+        return True, value
+
+    def _quarantine(self, path: Path, scenario_hash: str, reason: str) -> None:
+        """Move a corrupt entry to ``corrupt/`` and count it."""
+        destination = self.quarantine_dir() / path.name
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, destination)
+        except OSError:
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - raced or unwritable
+                pass
+        self.stats.corruptions += 1
+        log.warning(
+            "quarantined corrupt cache entry %s (%s) -> %s",
+            scenario_hash[:12],
+            reason,
+            destination,
+        )
 
     def store(self, point: ScenarioPoint, value: Any) -> None:
         """Atomically persist ``value`` for ``point``."""
@@ -120,9 +179,19 @@ class ResultCache:
         envelope = {
             "version": CACHE_FORMAT_VERSION,
             "scenario": point.key(),
+            "checksum": content_hash(value),
             "value": value,
         }
         payload = canonical_json(envelope)
+        plan = active_plan()
+        if plan is not None and plan.torn_write(point.scenario_hash, point.target):
+            # Injected fault: simulate a non-atomic write dying halfway --
+            # truncated bytes at the *final* path, exactly what the
+            # checksum pass exists to catch on a later read.
+            path.write_text(payload[: len(payload) // 2], encoding="ascii")
+            self.stats.writes += 1
+            self.stats.store_s += clock() - start
+            return
         descriptor, temp_name = tempfile.mkstemp(
             dir=path.parent, prefix=".tmp-", suffix=".json"
         )

@@ -43,15 +43,28 @@ ENGINE_NATIVE = {
 SpecBuilder = Callable[[str, int], List[ScenarioSpec]]
 Assembler = Callable[[List[Any], str, int], ExperimentResult]
 
+#: Default per-point wall-clock timeouts (seconds) used by supervised runs.
+#: Legacy experiments run *whole* as a single point (topology build + every
+#: LP solve), so their ceiling is generous; engine-native points are one
+#: scenario each and should never take anywhere near fifteen minutes.
+#: ``repro sweep run --timeout`` overrides both.
+LEGACY_POINT_TIMEOUT_S = 3600.0
+NATIVE_POINT_TIMEOUT_S = 900.0
+
 
 @dataclass(frozen=True)
 class SweepDef:
-    """One registered sweep: how to build its grid and assemble its result."""
+    """One registered sweep: how to build its grid and assemble its result.
+
+    ``timeout_s`` is the sweep's default per-point wall-clock budget for
+    supervised execution (``None`` disables deadlines entirely).
+    """
 
     sweep_id: str
     description: str
     build: SpecBuilder
     assemble: Assembler
+    timeout_s: Optional[float] = None
 
 
 _SWEEPS: Dict[str, SweepDef] = {}
@@ -159,6 +172,7 @@ def _legacy_sweep(experiment_id: str) -> SweepDef:
         description=f"legacy experiment {EXPERIMENTS[experiment_id]} as one scenario point",
         build=build,
         assemble=assemble,
+        timeout_s=LEGACY_POINT_TIMEOUT_S,
     )
 
 
@@ -174,6 +188,7 @@ def _native_sweep(experiment_id: str, module_path: str) -> SweepDef:
         description=f"engine-native grid defined in {module_path}",
         build=build,
         assemble=assemble,
+        timeout_s=NATIVE_POINT_TIMEOUT_S,
     )
 
 

@@ -1,53 +1,119 @@
-"""Sharded sweep execution with caching and deterministic ordering.
+"""Supervised sweep execution: caching, dedup, retries, timeouts, quarantine.
 
 :class:`SweepRunner` executes a list of :class:`~repro.engine.spec.ScenarioPoint`
-in three passes:
+in four passes:
 
-1. **Cache pass** -- every point is looked up in the (optional) result cache;
-   hits are materialized immediately.
+0. **Journal pass** -- when a resume journal is supplied (``completed``),
+   points whose scenario hash already has a journaled value are materialized
+   immediately with status ``"journaled"`` and never re-execute.
+1. **Cache pass** -- every remaining point is looked up in the (optional)
+   result cache; hits are materialized immediately.
 2. **Deduplication** -- remaining points with identical scenario hashes are
    collapsed so each distinct scenario executes exactly once, however many
    sweeps reference it.
 3. **Execution** -- distinct scenarios run serially in-process
-   (``workers <= 1``) or sharded across a ``multiprocessing`` pool
-   (``workers > 1``).  Each point carries its own seed, so execution order
-   never affects results.
+   (``workers <= 1`` without a timeout) or under a *supervised* worker pool:
+   dedicated worker processes fed over pipes, with per-point wall-clock
+   deadlines, detection of worker death (a crashed or OOM-killed worker is
+   noticed through its process sentinel, never hung on), bounded retry with
+   exponential backoff and deterministic jitter, and quarantine of poison
+   points after ``max_attempts``.
 
-Whatever the execution mode, the returned outcomes are in the input order,
-so assembling a figure from sweep values is a plain ``zip`` with the grid.
+A quarantined point does not abort the sweep: every healthy point still
+completes, the outcome carries ``status="failed"`` with a structured
+:class:`PointFailure`, and -- unless ``raise_on_failure=False`` -- the run
+ends by raising :class:`SweepFailure` so programmatic callers cannot
+mistake a partial sweep for a complete one.  Whatever the execution mode,
+outcomes are returned in input order, so assembling a figure from sweep
+values is a plain ``zip`` with the grid.
+
+Fault injection for tests goes through :mod:`repro.testing.chaos`
+(``REPRO_FAULTS``); see ``docs/robustness.md`` for semantics.
 """
 
 from __future__ import annotations
 
+import hashlib
 import multiprocessing
 import os
-from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+import time
+from collections import deque
+from dataclasses import asdict, dataclass, field
+from multiprocessing.connection import wait as _connection_wait
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import ScenarioPoint
-from repro.telemetry import trace
+from repro.telemetry import count, get_logger, trace
 from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.tracer import clock
+from repro.testing.chaos import active_plan
 
 #: ``progress(done, total, outcome)`` called after every completed point.
 ProgressCallback = Callable[[int, int, "PointOutcome"], None]
+
+#: Outcome statuses.
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_JOURNALED = "journaled"
+
+log = get_logger("engine.runner")
 
 
 class SweepError(RuntimeError):
     """A scenario point failed to execute."""
 
 
+class SweepFailure(SweepError):
+    """Raised after a sweep completes with quarantined points.
+
+    The sweep is *not* aborted on the first failure: every healthy point
+    runs to completion first, and :attr:`outcomes` holds the full result
+    list (in input order) so callers can salvage partial results.
+    """
+
+    def __init__(self, message: str, outcomes: List["PointOutcome"]) -> None:
+        super().__init__(message)
+        self.outcomes = outcomes
+
+    @property
+    def failures(self) -> List["PointOutcome"]:
+        return [o for o in self.outcomes if o.status == STATUS_FAILED]
+
+
+@dataclass
+class PointFailure:
+    """Structured description of why a point was quarantined.
+
+    ``kind`` is the *final* attempt's failure mode (``"error"`` for a
+    raised exception, ``"timeout"`` for a wall-clock deadline kill,
+    ``"crash"`` for worker death); ``history`` lists every attempt's kind
+    in order.  ``exitcode`` is the dead worker's exit code for crashes.
+    """
+
+    kind: str
+    message: str
+    exitcode: Optional[int] = None
+    history: List[str] = field(default_factory=list)
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+
 @dataclass
 class PointOutcome:
     """Result of one scenario point.
 
-    ``cached`` is true when the value came from the on-disk cache or from
-    another identical point executed earlier in the same sweep.  For cached
-    points ``duration_s`` is the cache-lookup time, not an execution time;
-    ``worker`` is the pid of the process that executed the point (0 for
-    cache hits and dedup followers) and ``peak_rss_kb`` that process's
-    peak RSS high-water mark after the point ran (0 when not measured).
+    ``cached`` is true when the value came from the on-disk cache, from the
+    resume journal, or from another identical point executed earlier in the
+    same sweep.  For cached points ``duration_s`` is the cache-lookup time,
+    not an execution time; ``worker`` is the pid of the process that
+    executed the point (0 for cache hits and dedup followers) and
+    ``peak_rss_kb`` that process's peak RSS high-water mark after the point
+    ran (0 when not measured).  ``status`` is ``"ok"``, ``"journaled"``
+    (skipped via a resume journal) or ``"failed"`` (quarantined; ``value``
+    is ``None`` and ``failure`` describes why); ``attempts`` counts
+    execution attempts including retries (0 for journal/cache hits).
     """
 
     point: ScenarioPoint
@@ -56,38 +122,212 @@ class PointOutcome:
     duration_s: float
     worker: int = 0
     peak_rss_kb: int = 0
+    status: str = STATUS_OK
+    attempts: int = 0
+    failure: Optional[PointFailure] = None
 
 
-def _execute_indexed(
-    item: Tuple[int, ScenarioPoint]
-) -> Tuple[int, Any, float, int, int]:
-    """Pool worker: run one point, reporting index, duration, pid and RSS."""
-    index, point = item
+@dataclass
+class FaultStats:
+    """Per-run fault counters (reset at the start of every :meth:`run`)."""
+
+    retries: int = 0
+    timeouts: int = 0
+    crashes: int = 0
+    errors: int = 0
+    quarantined: int = 0
+    journal_skips: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def any_faults(self) -> bool:
+        return bool(
+            self.retries or self.timeouts or self.crashes
+            or self.errors or self.quarantined
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"{self.retries} retries, {self.timeouts} timeouts, "
+            f"{self.crashes} crashes, {self.errors} errors, "
+            f"{self.quarantined} quarantined"
+        )
+
+
+def backoff_delay(
+    scenario_hash: str, attempt: int, base_s: float, cap_s: float
+) -> float:
+    """Exponential backoff with deterministic jitter.
+
+    ``base_s * 2**(attempt-1)``, scaled by a jitter factor in [1.0, 1.5)
+    derived from ``sha256(scenario_hash:attempt)`` -- reproducible for a
+    given point and attempt, decorrelated across points so retry storms
+    spread out -- and capped at ``cap_s``.
+    """
+    digest = hashlib.sha256(f"{scenario_hash}:{attempt}".encode("ascii")).digest()
+    jitter = 1.0 + (int.from_bytes(digest[:8], "big") / 2.0**64) * 0.5
+    return min(base_s * (2.0 ** max(attempt - 1, 0)) * jitter, cap_s)
+
+
+class _Task:
+    """One distinct scenario in flight: its grid index, point and attempts."""
+
+    __slots__ = ("index", "point", "attempts", "history", "last_message", "last_exitcode")
+
+    def __init__(self, index: int, point: ScenarioPoint) -> None:
+        self.index = index
+        self.point = point
+        self.attempts = 0
+        self.history: List[str] = []
+        self.last_message = ""
+        self.last_exitcode: Optional[int] = None
+
+
+def _execute_point(index: int, point: ScenarioPoint, attempt: int) -> Tuple[Any, float]:
+    """Run one point (with the chaos hook) and return ``(value, duration)``."""
+    plan = active_plan()
+    if plan is not None:
+        plan.on_execute(index, point.scenario_hash, point.target, attempt)
     start = clock()
-    try:
-        with trace("engine.point", target=point.target):
-            value = point.execute()
-    except Exception as error:
-        raise SweepError(
-            f"scenario {point.scenario_hash[:12]} ({point.target}) failed: {error}"
-        ) from error
-    return index, value, clock() - start, os.getpid(), peak_rss_kb()
+    with trace("engine.point", target=point.target, attempt=attempt):
+        value = point.execute()
+    return value, clock() - start
+
+
+def _worker_main(conn) -> None:
+    """Supervised pool worker: execute tasks from the pipe until told to stop.
+
+    Exceptions raised by a point are *reported*, never allowed to kill the
+    worker; only a real crash (``os._exit``, OOM kill, signal) ends the
+    process, which the supervisor notices through the process sentinel.
+    """
+    while True:
+        try:
+            task = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if task is None:
+            return
+        index, point, attempt = task
+        try:
+            value, duration = _execute_point(index, point, attempt)
+        except KeyboardInterrupt:
+            return
+        except BaseException as error:
+            try:
+                conn.send(("error", index, f"{type(error).__name__}: {error}"))
+            except (OSError, ValueError):
+                return
+            continue
+        try:
+            conn.send(("ok", index, value, duration, os.getpid(), peak_rss_kb()))
+        except (OSError, ValueError):
+            return
+
+
+class _WorkerHandle:
+    """One supervised worker process plus its command/result pipe."""
+
+    __slots__ = ("context", "process", "conn", "task", "deadline")
+
+    def __init__(self, context) -> None:
+        self.context = context
+        self.task: Optional[_Task] = None
+        self.deadline: Optional[float] = None
+        self._spawn()
+
+    def _spawn(self) -> None:
+        parent_conn, child_conn = self.context.Pipe()
+        self.process = self.context.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+
+    def dispatch(self, task: _Task, timeout_s: Optional[float]) -> None:
+        task.attempts += 1
+        self.task = task
+        self.deadline = clock() + timeout_s if timeout_s is not None else None
+        self.conn.send((task.index, task.point, task.attempts))
+
+    def discard(self) -> None:
+        """Kill the process (hung, crashed, or mid-task) and close the pipe."""
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():  # pragma: no cover - stuck in kernel
+                self.process.kill()
+        self.process.join(timeout=5.0)
+
+    def respawn(self) -> None:
+        self.discard()
+        self.task = None
+        self.deadline = None
+        self._spawn()
+
+    def shutdown(self) -> None:
+        """Graceful stop for an idle worker at end of sweep."""
+        try:
+            self.conn.send(None)
+        except (OSError, BrokenPipeError):
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - ignored the stop
+            self.process.terminate()
+            self.process.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
 
 
 class SweepRunner:
-    """Run scenario points, optionally in parallel and against a result cache.
+    """Run scenario points, optionally supervised, against a result cache.
 
     Parameters
     ----------
     workers:
-        ``0`` or ``1`` runs everything serially in-process (no pool overhead;
-        the default, and what experiment ``run()`` wrappers use).  ``n > 1``
-        shards distinct scenarios across ``n`` worker processes.
+        ``0`` or ``1`` runs everything serially in-process (no pool
+        overhead; the default, and what experiment ``run()`` wrappers use).
+        ``n > 1`` shards distinct scenarios across ``n`` supervised worker
+        processes.  Setting ``timeout_s`` forces supervised execution even
+        for ``workers <= 1`` (a single supervised worker), because a hung
+        point cannot be preempted in-process.
     cache:
         A :class:`~repro.engine.cache.ResultCache`, or ``None`` to disable
         caching entirely.
     progress:
         Optional callback invoked after every completed point.
+    timeout_s:
+        Per-point wall-clock deadline.  A point past its deadline has its
+        worker terminated, counts a ``timeout`` fault, and is retried with
+        backoff.  ``None`` (default) disables deadlines.
+    max_attempts:
+        Total execution attempts per distinct scenario before it is
+        quarantined (default 3: one initial try plus two retries).
+    backoff_base_s / backoff_cap_s:
+        Exponential-backoff schedule between retries; see
+        :func:`backoff_delay`.  Jitter is deterministic per (point,
+        attempt).
+    completed:
+        Optional mapping ``scenario_hash -> value`` (a loaded resume
+        journal); matching points are materialized as ``"journaled"``
+        outcomes without executing or touching the cache.
+    raise_on_failure:
+        When true (default), a sweep that quarantined any point raises
+        :class:`SweepFailure` *after* completing every healthy point.
+        When false, :meth:`run` returns the mixed outcome list and the
+        caller inspects ``status`` itself (what the CLI does to print a
+        failure report).
+
+    After each :meth:`run`, :attr:`fault_stats` holds the run's
+    retry/timeout/crash/error/quarantine counters.
     """
 
     def __init__(
@@ -95,31 +335,68 @@ class SweepRunner:
         workers: int = 0,
         cache: Optional[ResultCache] = None,
         progress: Optional[ProgressCallback] = None,
+        *,
+        timeout_s: Optional[float] = None,
+        max_attempts: int = 3,
+        backoff_base_s: float = 0.25,
+        backoff_cap_s: float = 30.0,
+        completed: Optional[Mapping[str, Any]] = None,
+        raise_on_failure: bool = True,
     ) -> None:
         if workers < 0:
             raise ValueError("workers must be non-negative")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if timeout_s is not None and timeout_s <= 0:
+            raise ValueError("timeout_s must be positive (or None to disable)")
         self.workers = workers
         self.cache = cache
         self.progress = progress
+        self.timeout_s = timeout_s
+        self.max_attempts = max_attempts
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self.completed = dict(completed) if completed else None
+        self.raise_on_failure = raise_on_failure
+        self.fault_stats = FaultStats()
 
     def run(self, points: Sequence[ScenarioPoint]) -> List[PointOutcome]:
         """Execute ``points`` and return outcomes in input order."""
         points = list(points)
         total = len(points)
         outcomes: List[Optional[PointOutcome]] = [None] * total
-        completed = 0
+        completed_count = 0
+        self.fault_stats = FaultStats()
 
         def finish(index: int, outcome: PointOutcome) -> None:
-            nonlocal completed
+            nonlocal completed_count
             outcomes[index] = outcome
-            completed += 1
+            completed_count += 1
             if self.progress is not None:
-                self.progress(completed, total, outcome)
+                self.progress(completed_count, total, outcome)
+
+        # Pass 0: resume-journal skips (never re-executed, never re-fetched).
+        pending: List[Tuple[int, ScenarioPoint]] = []
+        for index, point in enumerate(points):
+            if self.completed is not None and point.scenario_hash in self.completed:
+                self.fault_stats.journal_skips += 1
+                finish(
+                    index,
+                    PointOutcome(
+                        point,
+                        self.completed[point.scenario_hash],
+                        cached=True,
+                        duration_s=0.0,
+                        status=STATUS_JOURNALED,
+                    ),
+                )
+                continue
+            pending.append((index, point))
 
         # Pass 1: cache lookups (timed, so cached points report their actual
         # lookup cost instead of a flat 0.0).
-        pending: List[Tuple[int, ScenarioPoint]] = []
-        for index, point in enumerate(points):
+        uncached: List[Tuple[int, ScenarioPoint]] = []
+        for index, point in pending:
             if self.cache is not None:
                 start = clock()
                 hit, value = self.cache.fetch(point)
@@ -130,28 +407,28 @@ class SweepRunner:
                         PointOutcome(point, value, cached=True, duration_s=lookup_s),
                     )
                     continue
-            pending.append((index, point))
+            uncached.append((index, point))
 
         # Pass 2: collapse identical scenarios so each executes once.
-        primaries: Dict[str, Tuple[int, ScenarioPoint]] = {}
+        primaries: Dict[str, _Task] = {}
         followers: Dict[str, List[int]] = {}
-        for index, point in pending:
+        for index, point in uncached:
             scenario_hash = point.scenario_hash
             if scenario_hash in primaries:
                 followers.setdefault(scenario_hash, []).append(index)
             else:
-                primaries[scenario_hash] = (index, point)
+                primaries[scenario_hash] = _Task(index, point)
         work = list(primaries.values())
 
-        # Pass 3: execute distinct scenarios, serially or in a pool.
-        def record(
-            index: int, value: Any, duration: float, worker: int, rss_kb: int
+        # Pass 3: execute distinct scenarios, serially or supervised.
+        def on_success(
+            task: _Task, value: Any, duration: float, worker: int, rss_kb: int
         ) -> None:
-            point = points[index]
+            point = points[task.index]
             if self.cache is not None:
                 self.cache.store(point, value)
             finish(
-                index,
+                task.index,
                 PointOutcome(
                     point,
                     value,
@@ -159,26 +436,264 @@ class SweepRunner:
                     duration_s=duration,
                     worker=worker,
                     peak_rss_kb=rss_kb,
+                    attempts=task.attempts,
                 ),
             )
             for follower_index in followers.get(point.scenario_hash, ()):
                 finish(
                     follower_index,
-                    PointOutcome(points[follower_index], value, cached=True, duration_s=0.0),
+                    PointOutcome(
+                        points[follower_index], value, cached=True, duration_s=0.0
+                    ),
                 )
 
-        if self.workers > 1 and len(work) > 1:
-            context = multiprocessing.get_context()
-            with context.Pool(processes=self.workers) as pool:
-                for result in pool.imap_unordered(_execute_indexed, work):
-                    record(*result)
-        else:
-            for item in work:
-                record(*_execute_indexed(item))
+        def on_failure(task: _Task) -> None:
+            point = points[task.index]
+            failure = PointFailure(
+                kind=task.history[-1] if task.history else "error",
+                message=task.last_message,
+                exitcode=task.last_exitcode,
+                history=list(task.history),
+            )
+            log.warning(
+                "quarantined %s (%s) after %d attempt(s): %s: %s",
+                point.scenario_hash[:12],
+                point.target,
+                task.attempts,
+                failure.kind,
+                failure.message,
+            )
+            for outcome_index in (task.index, *followers.get(point.scenario_hash, ())):
+                finish(
+                    outcome_index,
+                    PointOutcome(
+                        points[outcome_index],
+                        None,
+                        cached=False,
+                        duration_s=0.0,
+                        status=STATUS_FAILED,
+                        attempts=task.attempts,
+                        failure=failure,
+                    ),
+                )
+
+        if work:
+            pool_workers = self.workers
+            if pool_workers == 0 and self.timeout_s is not None:
+                pool_workers = 1
+            if pool_workers > 1 or (pool_workers == 1 and self.timeout_s is not None):
+                self._run_supervised(
+                    work, min(pool_workers, len(work)), on_success, on_failure
+                )
+            else:
+                self._run_serial(work, on_success, on_failure)
 
         assert all(outcome is not None for outcome in outcomes)
-        return outcomes  # type: ignore[return-value]
+        results: List[PointOutcome] = outcomes  # type: ignore[assignment]
+        failures = [o for o in results if o.status == STATUS_FAILED]
+        if failures and self.raise_on_failure:
+            detail = "; ".join(
+                f"{o.point.scenario_hash[:12]} ({o.point.target}) "
+                f"{o.failure.kind} after {o.attempts} attempt(s): {o.failure.message}"
+                for o in failures[:5]
+            )
+            raise SweepFailure(
+                f"{len(failures)} of {total} scenario point(s) failed: {detail}",
+                results,
+            )
+        return results
 
     def run_values(self, points: Sequence[ScenarioPoint]) -> List[Any]:
         """Like :meth:`run` but returning only the values, in input order."""
         return [outcome.value for outcome in self.run(points)]
+
+    # ------------------------------------------------------------------ #
+    # Failure accounting shared by both execution modes
+    # ------------------------------------------------------------------ #
+    def _note_failure(
+        self, task: _Task, kind: str, message: str, exitcode: Optional[int] = None
+    ) -> None:
+        task.history.append(kind)
+        task.last_message = message
+        task.last_exitcode = exitcode
+        stats = self.fault_stats
+        if kind == "timeout":
+            stats.timeouts += 1
+        elif kind == "crash":
+            stats.crashes += 1
+        else:
+            stats.errors += 1
+        count(f"engine.{kind}s")
+        log.warning(
+            "point %s (%s) attempt %d/%d failed: %s: %s",
+            task.point.scenario_hash[:12],
+            task.point.target,
+            task.attempts,
+            self.max_attempts,
+            kind,
+            message,
+        )
+
+    def _after_failure(
+        self,
+        task: _Task,
+        delayed: List[Tuple[float, _Task]],
+        on_failure: Callable[[_Task], None],
+    ) -> int:
+        """Requeue with backoff or quarantine; returns 1 when terminal."""
+        if task.attempts < self.max_attempts:
+            self.fault_stats.retries += 1
+            count("engine.retries")
+            delay = backoff_delay(
+                task.point.scenario_hash,
+                task.attempts,
+                self.backoff_base_s,
+                self.backoff_cap_s,
+            )
+            log.warning(
+                "retrying %s in %.2fs (attempt %d/%d)",
+                task.point.scenario_hash[:12],
+                delay,
+                task.attempts + 1,
+                self.max_attempts,
+            )
+            delayed.append((clock() + delay, task))
+            return 0
+        self.fault_stats.quarantined += 1
+        count("engine.quarantined")
+        on_failure(task)
+        return 1
+
+    # ------------------------------------------------------------------ #
+    # Serial in-process execution (retries, no preemptive timeouts)
+    # ------------------------------------------------------------------ #
+    def _run_serial(self, work, on_success, on_failure) -> None:
+        delayed: List[Tuple[float, _Task]] = []
+        for task in work:
+            while True:
+                task.attempts += 1
+                try:
+                    value, duration = _execute_point(
+                        task.index, task.point, task.attempts
+                    )
+                except KeyboardInterrupt:
+                    raise
+                except Exception as error:
+                    self._note_failure(
+                        task, "error", f"{type(error).__name__}: {error}"
+                    )
+                    if self._after_failure(task, delayed, on_failure):
+                        break
+                    eligible_at, _ = delayed.pop()
+                    time.sleep(max(eligible_at - clock(), 0.0))
+                    continue
+                on_success(task, value, duration, os.getpid(), peak_rss_kb())
+                break
+
+    # ------------------------------------------------------------------ #
+    # Supervised pool execution
+    # ------------------------------------------------------------------ #
+    def _run_supervised(self, work, num_workers, on_success, on_failure) -> None:
+        context = multiprocessing.get_context()
+        ready: "deque[_Task]" = deque(work)
+        delayed: List[Tuple[float, _Task]] = []
+        outstanding = len(work)
+        workers = [_WorkerHandle(context) for _ in range(max(num_workers, 1))]
+        try:
+            while outstanding > 0:
+                now = clock()
+                if delayed:
+                    due = [task for at, task in delayed if at <= now]
+                    if due:
+                        delayed = [(at, task) for at, task in delayed if at > now]
+                        ready.extend(due)
+                for worker in workers:
+                    if worker.task is None and ready:
+                        if not worker.process.is_alive():
+                            worker.respawn()
+                        worker.dispatch(ready.popleft(), self.timeout_s)
+                busy = [w for w in workers if w.task is not None]
+                if not busy:
+                    # Nothing in flight: everything outstanding is backing off.
+                    next_at = min(at for at, _ in delayed)
+                    time.sleep(max(next_at - clock(), 0.0))
+                    continue
+                waits = [w.deadline - now for w in busy if w.deadline is not None]
+                waits.extend(at - now for at, _ in delayed)
+                timeout = max(min(waits), 0.0) if waits else None
+                conns = {w.conn: w for w in busy}
+                sentinels = {w.process.sentinel: w for w in busy}
+                ready_objects = _connection_wait(
+                    list(conns) + list(sentinels), timeout
+                )
+                # Results first: a worker that reported and then exited must
+                # not have its completed task miscounted as a crash.
+                for obj in ready_objects:
+                    worker = conns.get(obj)
+                    if worker is not None and worker.task is not None:
+                        outstanding -= self._handle_message(
+                            worker, delayed, on_success, on_failure
+                        )
+                for obj in ready_objects:
+                    worker = sentinels.get(obj)
+                    if worker is None or worker.task is None:
+                        continue
+                    if worker.process.is_alive():  # pragma: no cover - spurious
+                        continue
+                    task = worker.task
+                    exitcode = worker.process.exitcode
+                    worker.respawn()
+                    self._note_failure(
+                        task,
+                        "crash",
+                        f"worker died with exit code {exitcode}",
+                        exitcode=exitcode,
+                    )
+                    outstanding -= self._after_failure(task, delayed, on_failure)
+                # Deadlines last, after any just-delivered results.
+                now = clock()
+                for worker in workers:
+                    if (
+                        worker.task is not None
+                        and worker.deadline is not None
+                        and now >= worker.deadline
+                    ):
+                        task = worker.task
+                        worker.respawn()
+                        self._note_failure(
+                            task,
+                            "timeout",
+                            f"exceeded {self.timeout_s:g}s wall-clock timeout",
+                        )
+                        outstanding -= self._after_failure(task, delayed, on_failure)
+        finally:
+            for worker in workers:
+                if worker.task is not None:
+                    worker.discard()
+                else:
+                    worker.shutdown()
+
+    def _handle_message(self, worker, delayed, on_success, on_failure) -> int:
+        """Receive one worker report; returns 1 when its task is terminal."""
+        task = worker.task
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            # Died between becoming readable and the recv: count as a crash.
+            exitcode = worker.process.exitcode
+            worker.respawn()
+            self._note_failure(
+                task,
+                "crash",
+                f"worker died with exit code {exitcode}",
+                exitcode=exitcode,
+            )
+            return self._after_failure(task, delayed, on_failure)
+        worker.task = None
+        worker.deadline = None
+        if message[0] == "ok":
+            _, _, value, duration, pid, rss_kb = message
+            on_success(task, value, duration, pid, rss_kb)
+            return 1
+        self._note_failure(task, "error", message[2])
+        return self._after_failure(task, delayed, on_failure)

@@ -26,7 +26,11 @@ from repro.telemetry.manifest import (
     RunRecord,
     RunRecorder,
     default_runs_root,
+    journal_path,
+    load_journal,
+    load_manifest,
     load_manifests,
+    manifest_path,
     write_manifest,
 )
 from repro.telemetry.timing import best_of, stopwatch, time_call, timed_best_of
@@ -65,7 +69,11 @@ __all__ = [
     "get_logger",
     "get_tracer",
     "is_enabled",
+    "journal_path",
+    "load_journal",
+    "load_manifest",
     "load_manifests",
+    "manifest_path",
     "stopwatch",
     "summarize_events",
     "time_call",

@@ -11,7 +11,13 @@ Manifests are plain JSON files named ``run-<run_id>.json`` under a *runs
 root* -- by default ``<result-cache-root>/runs`` so the operational record
 sits beside the results it describes (override with ``$REPRO_RUNS_DIR``).
 Writes are atomic (temp file + ``os.replace``), mirroring the cache's
-discipline: a killed run never leaves a truncated manifest.
+discipline: a killed run never leaves a truncated manifest.  When the runs
+root is known up front, :class:`RunRecorder` also writes an *initial*
+manifest before the sweep starts -- so a run that dies mid-sweep still
+left its identity on disk -- and streams an append-only *journal*
+(``run-<run_id>.journal.jsonl``, one line per completed point, fsync-free
+but flushed) that ``repro sweep run --resume <run-id>`` replays to skip
+already-finished points without re-executing or even re-fetching them.
 
 :class:`RunRecorder` is the collection half: its :meth:`~RunRecorder.observe`
 method is a :data:`~repro.engine.runner.ProgressCallback`, so wiring a
@@ -85,7 +91,13 @@ def peak_rss_kb() -> int:
 
 @dataclass
 class PointRecord:
-    """Per-point telemetry row inside a :class:`RunRecord`."""
+    """Per-point telemetry row inside a :class:`RunRecord`.
+
+    ``status`` is ``"ok"``, ``"journaled"`` (skipped on resume) or
+    ``"failed"`` (quarantined); ``attempts`` counts execution attempts
+    including retries; ``failure`` is the quarantined point's structured
+    failure (:meth:`~repro.engine.runner.PointFailure.as_dict`).
+    """
 
     scenario_hash: str
     target: str
@@ -93,6 +105,9 @@ class PointRecord:
     duration_s: float
     worker: int = 0
     peak_rss_kb: int = 0
+    status: str = "ok"
+    attempts: int = 0
+    failure: Optional[dict] = None
 
 
 @dataclass
@@ -111,6 +126,10 @@ class RunRecord:
     duration_s: float = 0.0
     cache: Optional[Dict[str, int]] = None
     trace_events: Optional[str] = None
+    failures: Optional[Dict[str, int]] = None
+    resumed_from: Optional[str] = None
+    interrupted: bool = False
+    journal: Optional[str] = None
     points: List[PointRecord] = field(default_factory=list)
 
     def to_dict(self) -> dict:
@@ -140,6 +159,10 @@ class RunRecord:
                 "duration_s",
                 "cache",
                 "trace_events",
+                "failures",
+                "resumed_from",
+                "interrupted",
+                "journal",
             )
             if key in payload
         }
@@ -155,6 +178,12 @@ class RunRecord:
     def max_peak_rss_kb(self) -> int:
         return max((p.peak_rss_kb for p in self.points), default=0)
 
+    def failed_count(self) -> int:
+        return sum(1 for p in self.points if p.status == "failed")
+
+    def retry_count(self) -> int:
+        return int((self.failures or {}).get("retries", 0))
+
 
 def new_run_id(sweep_id: str) -> str:
     """Unique, sortable run id: ``<unix-time>-<sweep>-<random>``."""
@@ -163,6 +192,41 @@ def new_run_id(sweep_id: str) -> str:
 
 def manifest_path(runs_root: Path, run_id: str) -> Path:
     return Path(runs_root) / f"run-{run_id}.json"
+
+
+def journal_path(runs_root: Path, run_id: str) -> Path:
+    """The run's append-only completion journal, beside its manifest."""
+    return Path(runs_root) / f"run-{run_id}.journal.jsonl"
+
+
+def load_journal(path: Path) -> Dict[str, Any]:
+    """Replay a completion journal into ``{scenario_hash: value}``.
+
+    Only successful entries (status ``"ok"`` or ``"journaled"``) carrying a
+    value are kept -- failed points must re-execute on resume.  A torn
+    final line (the writer died mid-append) or any other unparseable line
+    is skipped, not fatal: the journal is an optimization, so the worst a
+    broken line costs is re-running one point.
+    """
+    completed: Dict[str, Any] = {}
+    try:
+        with open(path, "r", encoding="ascii") as handle:
+            lines = handle.readlines()
+    except OSError:
+        return completed
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if not isinstance(entry, dict) or "hash" not in entry:
+            continue
+        if entry.get("status") in ("ok", "journaled") and "value" in entry:
+            completed[entry["hash"]] = entry["value"]
+    return completed
 
 
 def write_manifest(record: RunRecord, runs_root: Optional[Path] = None) -> Path:
@@ -227,6 +291,8 @@ class RunRecorder:
         command: Optional[Sequence[str]] = None,
         workers: int = 0,
         spec_hashes: Optional[Sequence[str]] = None,
+        runs_root: Optional[Path] = None,
+        resumed_from: Optional[str] = None,
     ) -> None:
         self.record = RunRecord(
             run_id=new_run_id(sweep_id),
@@ -238,12 +304,31 @@ class RunRecorder:
             command=list(command) if command is not None else list(sys.argv),
             workers=workers,
             spec_hashes=list(spec_hashes) if spec_hashes is not None else [],
+            resumed_from=resumed_from,
         )
         self._start = time.perf_counter()
+        self._runs_root: Optional[Path] = None
+        self._journal = None
+        if runs_root is not None:
+            # The runs root is known up front: leave an initial manifest on
+            # disk (a run killed mid-sweep is still discoverable, and
+            # --resume reads sweep/scale/seed from it) and open the
+            # completion journal for appending.
+            self._runs_root = Path(runs_root)
+            self._runs_root.mkdir(parents=True, exist_ok=True)
+            path = journal_path(self._runs_root, self.record.run_id)
+            self.record.journal = os.fspath(path)
+            write_manifest(self.record, runs_root=self._runs_root)
+            try:
+                self._journal = open(path, "a", encoding="ascii")
+            except OSError:
+                self._journal = None
 
     def observe(self, done: int, total: int, outcome: Any) -> None:
         """Progress-callback shaped collector (`done`/`total` unused)."""
         point = outcome.point
+        status = str(getattr(outcome, "status", "ok"))
+        failure = getattr(outcome, "failure", None)
         self.record.points.append(
             PointRecord(
                 scenario_hash=point.scenario_hash,
@@ -252,19 +337,52 @@ class RunRecorder:
                 duration_s=float(outcome.duration_s),
                 worker=int(getattr(outcome, "worker", 0) or 0),
                 peak_rss_kb=int(getattr(outcome, "peak_rss_kb", 0) or 0),
+                status=status,
+                attempts=int(getattr(outcome, "attempts", 0) or 0),
+                failure=failure.as_dict() if failure is not None else None,
             )
         )
+        if self._journal is not None:
+            entry: Dict[str, Any] = {"hash": point.scenario_hash, "status": status}
+            if status != "failed":
+                # The value rides in the journal so resume never depends on
+                # the cache being intact (a torn cache write cannot force a
+                # journaled point to re-execute).
+                entry["value"] = outcome.value
+            try:
+                self._journal.write(json.dumps(entry, sort_keys=True) + "\n")
+                self._journal.flush()
+            except (OSError, TypeError, ValueError):
+                # A journal that cannot be written stops being one; the run
+                # itself must not care.
+                try:
+                    self._journal.close()
+                except OSError:
+                    pass
+                self._journal = None
 
     def finalize(
         self,
         cache: Any = None,
         runs_root: Optional[Path] = None,
         trace_events: Optional[str] = None,
+        faults: Optional[Dict[str, int]] = None,
+        interrupted: bool = False,
     ) -> Path:
-        """Stamp duration / cache stats and write the manifest; returns its path."""
+        """Stamp duration / cache / fault stats and write the manifest."""
+        if self._journal is not None:
+            try:
+                self._journal.close()
+            except OSError:
+                pass
+            self._journal = None
         self.record.duration_s = time.perf_counter() - self._start
         if cache is not None and getattr(cache, "stats", None) is not None:
             self.record.cache = cache.stats.as_dict()
         if trace_events is not None:
             self.record.trace_events = os.fspath(trace_events)
-        return write_manifest(self.record, runs_root=runs_root)
+        if faults is not None:
+            self.record.failures = dict(faults)
+        self.record.interrupted = bool(interrupted)
+        root = runs_root if runs_root is not None else self._runs_root
+        return write_manifest(self.record, runs_root=root)

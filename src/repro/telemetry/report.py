@@ -3,8 +3,11 @@
 Reads run manifests (:mod:`repro.telemetry.manifest`) and JSONL span event
 logs (:mod:`repro.telemetry.tracer`) and renders:
 
-* a **per-experiment table** -- runs, points, cache hit rate, p50/p95
-  executed point latency, peak worker RSS;
+* a **per-experiment table** -- runs, points, cache hit rate, failed and
+  retried points, p50/p95 executed point latency, peak worker RSS;
+* a **fault summary line** -- aggregate retries / timeouts / crashes /
+  quarantines and cache corruptions across the manifests (only rendered
+  when any are nonzero, so healthy runs stay clean);
 * a **phase table** -- per span name: calls, cumulative and self time,
   sorted by cumulative self time (the "slowest phases" view);
 * a **coverage line** -- how much of the executed wall time the root spans
@@ -84,11 +87,15 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
         cached = 0
         total_points = 0
         peak_rss = 0
+        failed = 0
+        retries = 0
         for run in runs:
             executed.extend(run.executed_durations())
             cached += run.cached_count()
             total_points += len(run.points)
             peak_rss = max(peak_rss, run.max_peak_rss_kb())
+            failed += run.failed_count()
+            retries += run.retry_count()
         rows.append(
             {
                 "experiment": sweep_id,
@@ -96,12 +103,57 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
                 "points": total_points,
                 "cached": cached,
                 "hit_rate": (cached / total_points) if total_points else float("nan"),
+                "failed": failed,
+                "retries": retries,
                 "p50_s": percentile(executed, 50.0),
                 "p95_s": percentile(executed, 95.0),
                 "peak_rss_kb": peak_rss,
             }
         )
     return rows
+
+
+def fault_summary(records: Sequence[RunRecord]) -> Dict[str, int]:
+    """Aggregate fault counters across manifests (all zero when healthy).
+
+    Sums each run's ``failures`` dict (retries, timeouts, crashes, errors,
+    quarantined, journal_skips), adds cache ``corruptions`` from the cache
+    stats snapshots, and counts interrupted runs.
+    """
+    totals: Dict[str, int] = {
+        "retries": 0,
+        "timeouts": 0,
+        "crashes": 0,
+        "errors": 0,
+        "quarantined": 0,
+        "journal_skips": 0,
+        "cache_corruptions": 0,
+        "interrupted_runs": 0,
+    }
+    for record in records:
+        for key, value in (record.failures or {}).items():
+            if key in totals:
+                totals[key] += int(value)
+        totals["cache_corruptions"] += int((record.cache or {}).get("corruptions", 0))
+        if record.interrupted:
+            totals["interrupted_runs"] += 1
+    return totals
+
+
+def render_fault_summary(totals: Dict[str, int]) -> str:
+    parts = [
+        f"{totals['retries']} retries",
+        f"{totals['timeouts']} timeouts",
+        f"{totals['crashes']} crashes",
+        f"{totals['errors']} errors",
+        f"{totals['quarantined']} quarantined",
+        f"{totals['cache_corruptions']} cache corruptions",
+    ]
+    if totals.get("journal_skips"):
+        parts.append(f"{totals['journal_skips']} journal skips")
+    if totals.get("interrupted_runs"):
+        parts.append(f"{totals['interrupted_runs']} interrupted runs")
+    return "faults: " + ", ".join(parts)
 
 
 def phase_rows(events: Sequence[dict], limit: int = 0) -> List[dict]:
@@ -150,14 +202,16 @@ def _format_seconds(seconds: float) -> str:
 def render_experiment_table(rows: List[dict]) -> str:
     lines = [
         f"{'experiment':<16} {'runs':>5} {'points':>7} {'cached':>7} "
-        f"{'hit rate':>9} {'p50':>9} {'p95':>9} {'peak rss':>10}"
+        f"{'hit rate':>9} {'fail':>5} {'retry':>6} {'p50':>9} {'p95':>9} "
+        f"{'peak rss':>10}"
     ]
     for row in rows:
         hit = "-" if row["hit_rate"] != row["hit_rate"] else f"{row['hit_rate']:.0%}"
         rss = f"{row['peak_rss_kb'] / 1024:.0f} MB" if row["peak_rss_kb"] else "-"
         lines.append(
             f"{row['experiment']:<16} {row['runs']:>5} {row['points']:>7} "
-            f"{row['cached']:>7} {hit:>9} {_format_seconds(row['p50_s']):>9} "
+            f"{row['cached']:>7} {hit:>9} {row.get('failed', 0):>5} "
+            f"{row.get('retries', 0):>6} {_format_seconds(row['p50_s']):>9} "
             f"{_format_seconds(row['p95_s']):>9} {rss:>10}"
         )
     return "\n".join(lines)
@@ -262,6 +316,9 @@ def render_stats(
                 experiment_rows(records)
             )
         )
+        faults = fault_summary(records)
+        if any(faults.values()):
+            sections.append(render_fault_summary(faults))
     else:
         sections.append("run manifests: none found")
     if events:

@@ -1,0 +1,31 @@
+"""Deterministic test harnesses for the scenario engine.
+
+:mod:`repro.testing.chaos` is the fault-injection harness the robustness
+suite (``tests/test_runner_faults.py``) and the CI chaos-smoke job use to
+prove the sweep engine's recovery paths: worker crashes, hangs, transient
+exceptions and torn cache writes, injected on a deterministic schedule via
+the ``REPRO_FAULTS`` environment variable so ``multiprocessing`` pool
+workers inherit the plan with no extra plumbing.
+
+:mod:`repro.testing.targets` ships tiny scenario targets (importable by
+dotted path from worker processes) for exercising the engine without the
+cost of real experiments.
+
+See ``docs/robustness.md`` for the fault-plan spec format.
+"""
+
+from repro.testing.chaos import (
+    FAULTS_ENV,
+    ChaosError,
+    FaultPlan,
+    FaultRule,
+    active_plan,
+)
+
+__all__ = [
+    "FAULTS_ENV",
+    "ChaosError",
+    "FaultPlan",
+    "FaultRule",
+    "active_plan",
+]

@@ -1,0 +1,201 @@
+"""Deterministic fault injection for the sweep engine.
+
+The chaos harness turns the failure modes a long sweep actually meets --
+OOM-killed workers, hung LP solves, transient exceptions, torn cache writes
+-- into *scheduled, reproducible* events, so the supervised runner's
+recovery paths (retry, backoff, timeout, quarantine, corruption detection)
+can be proven by ordinary tests instead of hoped for.
+
+Activation mirrors the tracer's: the ``REPRO_FAULTS`` environment variable
+holds a JSON *fault plan* (or ``@/path/to/plan.json``), checked lazily on
+every injection site, so ``multiprocessing`` pool workers -- fork or spawn
+-- inherit the plan from the parent's environment with no plumbing.  When
+the variable is unset every hook is a cheap no-op.
+
+A plan is ``{"seed": <int>, "faults": [<rule>, ...]}``.  Each rule::
+
+    {"kind": "crash" | "hang" | "error" | "torn_write",
+     "rate": 1.0,                # injection probability (seeded, per attempt)
+     "attempts": [1],            # attempt numbers hit (omit = every attempt)
+     "indices": [0, 3],          # executing point's input index (omit = any)
+     "hash_prefix": "ab12",      # scenario hash prefix (omit = any)
+     "target": "pkg.mod:fn",     # exact target match (omit = any)
+     "hang_s": 3600.0,           # "hang" only: how long to sleep
+     "exit_code": 17,            # "crash" only: worker exit code
+     "message": "..."}           # "error" only: exception text
+
+The first matching rule fires.  ``crash`` calls ``os._exit`` (a worker
+death the supervisor must detect via its sentinel), ``hang`` sleeps past
+any sane per-point timeout, ``error`` raises :class:`ChaosError` (a
+transient exception the runner retries), and ``torn_write`` makes
+:class:`~repro.engine.cache.ResultCache` write a truncated entry straight
+to its final path -- the corruption the checksum pass must catch later.
+
+Determinism: probabilistic rules draw from
+``sha256(seed:kind:scenario_hash:attempt)``, a pure function of the plan
+seed and the point's identity -- never from wall clock or scheduling order
+-- so the same plan over the same grid injects the same faults whatever
+the worker count or completion order.  ``torn_write`` rules are matched by
+hash/target only (the cache has no grid index in scope).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Environment variable holding the fault plan (JSON, or ``@<path>``).
+FAULTS_ENV = "REPRO_FAULTS"
+
+FAULT_KINDS = ("crash", "hang", "error", "torn_write")
+
+
+class ChaosError(RuntimeError):
+    """The injected transient exception (``kind: "error"``)."""
+
+
+def _draw(seed: int, kind: str, scenario_hash: str, attempt: int) -> float:
+    """Deterministic uniform draw in [0, 1) for probabilistic rules."""
+    digest = hashlib.sha256(
+        f"{seed}:{kind}:{scenario_hash}:{attempt}".encode("ascii")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0**64
+
+
+@dataclass(frozen=True)
+class FaultRule:
+    """One scheduled fault; see the module docstring for field semantics."""
+
+    kind: str
+    rate: float = 1.0
+    attempts: Optional[Tuple[int, ...]] = None
+    indices: Optional[Tuple[int, ...]] = None
+    hash_prefix: Optional[str] = None
+    target: Optional[str] = None
+    hang_s: float = 3600.0
+    exit_code: int = 17
+    message: str = "injected transient fault"
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"fault kind must be one of {FAULT_KINDS}, got {self.kind!r}"
+            )
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"fault rate must be in [0, 1], got {self.rate}")
+
+    def matches(
+        self,
+        seed: int,
+        index: Optional[int],
+        scenario_hash: str,
+        target: str,
+        attempt: int,
+    ) -> bool:
+        if self.indices is not None and (index is None or index not in self.indices):
+            return False
+        if self.hash_prefix and not scenario_hash.startswith(self.hash_prefix):
+            return False
+        if self.target and target != self.target:
+            return False
+        if self.attempts is not None and attempt not in self.attempts:
+            return False
+        if self.rate < 1.0 and _draw(seed, self.kind, scenario_hash, attempt) >= self.rate:
+            return False
+        return True
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
+        known = {
+            "kind", "rate", "attempts", "indices", "hash_prefix", "target",
+            "hang_s", "exit_code", "message",
+        }
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(f"unknown fault rule keys: {sorted(unknown)}")
+        kwargs: Dict[str, Any] = dict(payload)
+        for field_name in ("attempts", "indices"):
+            if kwargs.get(field_name) is not None:
+                kwargs[field_name] = tuple(int(v) for v in kwargs[field_name])
+        return cls(**kwargs)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A parsed ``REPRO_FAULTS`` plan: a seed plus ordered fault rules."""
+
+    seed: int = 0
+    rules: Tuple[FaultRule, ...] = ()
+
+    @classmethod
+    def parse(cls, spec: str) -> "FaultPlan":
+        """Parse a plan from the env-var value (inline JSON or ``@<path>``)."""
+        text = spec.strip()
+        if text.startswith("@"):
+            text = Path(text[1:]).expanduser().read_text(encoding="utf-8")
+        payload = json.loads(text)
+        if not isinstance(payload, dict):
+            raise ValueError("fault plan must be a JSON object")
+        rules = tuple(
+            FaultRule.from_dict(rule) for rule in payload.get("faults", [])
+        )
+        return cls(seed=int(payload.get("seed", 0)), rules=rules)
+
+    # -- injection sites -------------------------------------------------
+    def on_execute(
+        self, index: Optional[int], scenario_hash: str, target: str, attempt: int
+    ) -> None:
+        """Runs in the worker just before a point executes; may not return.
+
+        ``crash`` exits the process, ``hang`` sleeps, ``error`` raises
+        :class:`ChaosError`; a non-matching plan returns immediately.
+        """
+        for rule in self.rules:
+            if rule.kind == "torn_write":
+                continue
+            if not rule.matches(self.seed, index, scenario_hash, target, attempt):
+                continue
+            if rule.kind == "crash":
+                os._exit(rule.exit_code)
+            if rule.kind == "hang":
+                time.sleep(rule.hang_s)
+                return
+            raise ChaosError(
+                f"{rule.message} ({scenario_hash[:12]} attempt {attempt})"
+            )
+
+    def torn_write(self, scenario_hash: str, target: str) -> bool:
+        """Should the cache tear the write for this scenario's entry?"""
+        for rule in self.rules:
+            if rule.kind != "torn_write":
+                continue
+            if rule.matches(self.seed, None, scenario_hash, target, attempt=1):
+                return True
+        return False
+
+
+# --------------------------------------------------------------------------- #
+# Lazy, env-keyed activation (cheap enough for per-point checks)
+# --------------------------------------------------------------------------- #
+_PLAN_SPEC: Optional[str] = None
+_PLAN: Optional[FaultPlan] = None
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The plan in ``$REPRO_FAULTS``, or ``None``; re-parsed when it changes.
+
+    The parsed plan is cached keyed on the raw variable value, so the
+    fault-free cost per call is one ``os.environ`` lookup and a string
+    compare -- negligible against any real scenario point.
+    """
+    global _PLAN_SPEC, _PLAN
+    spec = os.environ.get(FAULTS_ENV) or ""
+    if spec != _PLAN_SPEC:
+        _PLAN_SPEC = spec
+        _PLAN = FaultPlan.parse(spec) if spec else None
+    return _PLAN

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+from pathlib import Path
+
 import pytest
 
 from repro.cli import build_parser, build_sweep_parser, main
@@ -199,3 +201,170 @@ class TestSimCli:
                 "3", "--rounds", "30", "--seed", "1"]  # default warmup 50 >= 30
         assert main(argv) == 2
         assert "warmup_rounds" in capsys.readouterr().err
+
+
+class TestSweepRobustness:
+    """Failure reports, resume, and signal handling in `sweep run`."""
+
+    def _fault_env(self, monkeypatch, faults, seed=0):
+        import json
+
+        monkeypatch.setenv(
+            "REPRO_FAULTS", json.dumps({"seed": seed, "faults": faults})
+        )
+
+    def test_quarantine_prints_report_and_exits_nonzero(
+        self, capsys, tmp_path, monkeypatch
+    ):
+        self._fault_env(monkeypatch, [{"kind": "error", "indices": [2]}])
+        code = main(
+            [
+                "sweep", "run", "fig02a", "--no-cache", "--quiet",
+                "--runs-dir", str(tmp_path), "--max-attempts", "2",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "1 of 24 point(s) quarantined" in out
+        assert "error after 2 attempt(s)" in out
+        assert "jellyfish_normalized_bisection" not in out  # no table
+
+    def test_resume_skips_journaled_points(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        self._fault_env(monkeypatch, [{"kind": "error", "indices": [2]}])
+        assert (
+            main(
+                [
+                    "sweep", "run", "fig02a", "--no-cache", "--quiet",
+                    "--runs-dir", str(tmp_path), "--max-attempts", "1",
+                ]
+            )
+            == 1
+        )
+        capsys.readouterr()
+        manifest = sorted(tmp_path.glob("run-*.json"))[0]
+        run_id = json.loads(manifest.read_text())["run_id"]
+
+        monkeypatch.delenv("REPRO_FAULTS")
+        assert (
+            main(
+                [
+                    "sweep", "run", "--resume", run_id, "--no-cache",
+                    "--quiet", "--runs-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "jellyfish_normalized_bisection" in out  # table assembled
+        manifests = [
+            json.loads(p.read_text()) for p in sorted(tmp_path.glob("run-*.json"))
+        ]
+        resumed = next(m for m in manifests if m["resumed_from"] == run_id)
+        statuses = [p["status"] for p in resumed["points"]]
+        assert statuses.count("journaled") == 23
+        assert statuses.count("ok") == 1
+        assert resumed["failures"]["journal_skips"] == 23
+        # Zero re-executions of journaled points: exactly one non-cached run.
+        assert sum(1 for p in resumed["points"] if not p["cached"]) == 1
+
+    def test_resume_rejects_mismatched_sweep(self, capsys, tmp_path):
+        import json
+
+        assert (
+            main(
+                [
+                    "sweep", "run", "fig02a", "--no-cache", "--quiet",
+                    "--runs-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        manifest = sorted(tmp_path.glob("run-*.json"))[0]
+        run_id = json.loads(manifest.read_text())["run_id"]
+        assert (
+            main(
+                [
+                    "sweep", "run", "fig01", "--resume", run_id, "--no-cache",
+                    "--runs-dir", str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "was sweep" in capsys.readouterr().err
+
+    def test_resume_unknown_run_id_errors(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "sweep", "run", "--resume", "no-such-run", "--no-cache",
+                    "--runs-dir", str(tmp_path),
+                ]
+            )
+            == 2
+        )
+        assert "cannot load manifest" in capsys.readouterr().err
+
+    def test_run_without_sweeps_or_resume_errors(self, capsys, tmp_path):
+        assert (
+            main(["sweep", "run", "--no-cache", "--runs-dir", str(tmp_path)]) == 2
+        )
+        assert "no sweeps given" in capsys.readouterr().err
+
+    def test_timeout_zero_disables_deadlines(self, capsys, tmp_path):
+        code = main(
+            [
+                "sweep", "run", "fig02a", "--no-cache", "--quiet",
+                "--runs-dir", str(tmp_path), "--timeout", "0",
+            ]
+        )
+        assert code == 0
+
+    def test_sigterm_flushes_manifest_and_exits_143(self, tmp_path):
+        import json
+        import os
+        import signal
+        import subprocess
+        import sys
+        import time
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(Path(__file__).resolve().parents[1] / "src")]
+            + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        # One point hangs forever; the parent is killed mid-sweep.
+        env["REPRO_FAULTS"] = json.dumps(
+            {"seed": 0, "faults": [{"kind": "hang", "indices": [5], "hang_s": 600}]}
+        )
+        runs_dir = tmp_path / "runs"
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "sweep", "run", "fig02a",
+                "--no-cache", "--runs-dir", str(runs_dir), "--workers", "2",
+            ],
+            env=env,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+        )
+        # Wait until some points are journaled so the flush has content.
+        deadline = time.time() + 60
+        journal = None
+        while time.time() < deadline:
+            journals = list(runs_dir.glob("run-*.journal.jsonl"))
+            if journals and journals[0].read_text().count("\n") >= 3:
+                journal = journals[0]
+                break
+            time.sleep(0.2)
+        assert journal is not None, "no journal appeared before the deadline"
+        proc.send_signal(signal.SIGTERM)
+        _, stderr = proc.communicate(timeout=60)
+        assert proc.returncode == 143  # 128 + SIGTERM
+        assert "interrupted by signal 15" in stderr
+        assert "--resume" in stderr
+        manifest = json.loads(next(runs_dir.glob("run-*.json")).read_text())
+        assert manifest["interrupted"] is True
+        assert len(manifest["points"]) >= 3  # partial results were flushed

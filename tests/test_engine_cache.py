@@ -103,3 +103,94 @@ class TestDefaultCacheRoot:
         monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
         root = default_cache_root()
         assert root.name == "jellyfish-repro"
+
+
+class TestCorruptionQuarantine:
+    def test_unparseable_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        path = cache.path_for(point.scenario_hash)
+        path.write_text("{ not json")
+        hit, value = cache.fetch(point)
+        assert not hit and value is None
+        assert cache.stats.corruptions == 1
+        assert not path.exists()  # moved, not left in place
+        moved = cache.quarantine_dir() / path.name
+        assert moved.exists() and moved.read_text() == "{ not json"
+
+    def test_checksum_mismatch_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, {"answer": 0.5})
+        path = cache.path_for(point.scenario_hash)
+        envelope = json.loads(path.read_text())
+        envelope["value"] = {"answer": 0.75}  # tampered value, stale checksum
+        path.write_text(json.dumps(envelope))
+        assert not cache.fetch(point)[0]
+        assert cache.stats.corruptions == 1
+        assert (cache.quarantine_dir() / path.name).exists()
+
+    def test_truncated_entry_is_quarantined(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, [1, 2, 3, 4])
+        path = cache.path_for(point.scenario_hash)
+        payload = path.read_text()
+        path.write_text(payload[: len(payload) // 2])  # a torn write
+        assert not cache.fetch(point)[0]
+        assert cache.stats.corruptions == 1
+
+    def test_version_mismatch_is_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        path = cache.path_for(point.scenario_hash)
+        envelope = json.loads(path.read_text())
+        envelope["version"] = 999
+        path.write_text(json.dumps(envelope))
+        assert not cache.fetch(point)[0]
+        assert cache.stats.corruptions == 0  # old format: plain miss
+        assert path.exists()  # left where it is
+
+    def test_missing_file_is_not_corruption(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert not cache.fetch(_point())[0]
+        assert cache.stats.corruptions == 0
+
+    def test_quarantined_entries_do_not_count_as_entries(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        cache.path_for(point.scenario_hash).write_text("junk")
+        cache.fetch(point)
+        assert len(cache) == 0  # corrupt/ does not match the ??/ glob
+
+    def test_store_heals_after_quarantine(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        cache.path_for(point.scenario_hash).write_text("junk")
+        cache.fetch(point)
+        cache.store(point, 2.0)
+        hit, value = cache.fetch(point)
+        assert hit and value == 2.0
+        assert cache.stats.corruptions == 1
+
+    def test_corruptions_in_stats_dict_and_str(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, 1.0)
+        cache.path_for(point.scenario_hash).write_text("junk")
+        cache.fetch(point)
+        assert cache.stats.as_dict()["corruptions"] == 1
+        assert "1 corrupt" in str(cache.stats)
+
+    def test_entries_carry_checksum(self, tmp_path):
+        from repro.engine.spec import content_hash
+
+        cache = ResultCache(tmp_path)
+        point = _point()
+        cache.store(point, {"answer": 0.5})
+        envelope = json.loads(cache.path_for(point.scenario_hash).read_text())
+        assert envelope["checksum"] == content_hash({"answer": 0.5})

@@ -94,3 +94,48 @@ class TestParallelExecution:
         second = SweepRunner(workers=2, cache=warm).run_values(points)
         assert first == second
         assert warm.stats.hits == 3
+
+
+class TestSupervisedSemantics:
+    def test_healthy_outcomes_report_status_and_attempts(self):
+        outcomes = SweepRunner().run(_grid([720, 1440]))
+        assert all(o.status == "ok" for o in outcomes)
+        assert all(o.attempts == 1 for o in outcomes)
+        assert all(o.failure is None for o in outcomes)
+
+    def test_cached_outcomes_have_zero_attempts(self, tmp_path):
+        points = _grid([720])
+        cache = ResultCache(tmp_path)
+        SweepRunner(cache=cache).run(points)
+        outcome = SweepRunner(cache=ResultCache(tmp_path)).run(points)[0]
+        assert outcome.cached and outcome.attempts == 0
+
+    def test_sweep_failure_is_a_sweep_error(self):
+        from repro.engine.runner import SweepFailure
+
+        assert issubclass(SweepFailure, SweepError)
+
+    def test_failure_carries_all_outcomes(self):
+        good = _grid([720])[0]
+        bad = ScenarioPoint(FAILING_TARGET, {"no_such_kwarg": 1})
+        runner = SweepRunner(max_attempts=1)
+        with pytest.raises(SweepError) as excinfo:
+            runner.run([good, bad])
+        outcomes = excinfo.value.outcomes
+        assert outcomes[0].status == "ok" and outcomes[0].value is not None
+        assert outcomes[1].status == "failed" and outcomes[1].value is None
+        assert runner.fault_stats.quarantined == 1
+
+    def test_supervised_pool_matches_serial(self):
+        points = _grid([720, 1440, 2160])
+        serial = SweepRunner(workers=0).run_values(points)
+        supervised = SweepRunner(workers=2, timeout_s=600).run_values(points)
+        assert supervised == serial
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(max_attempts=0)
+        with pytest.raises(ValueError):
+            SweepRunner(timeout_s=0)
+        with pytest.raises(ValueError):
+            SweepRunner(timeout_s=-1.0)

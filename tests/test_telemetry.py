@@ -467,3 +467,182 @@ class TestStatsCli:
         monkeypatch.chdir(tmp_path)
         assert main(["sweep", "run", "fig01", "--no-cache"]) == 0
         assert not list(tmp_path.rglob("run-*.json"))
+
+
+class TestJournal:
+    def test_journal_round_trip(self, tmp_path):
+        from repro.telemetry.manifest import journal_path, load_journal
+
+        path = journal_path(tmp_path, "run1")
+        assert path.name == "run-run1.journal.jsonl"
+        lines = [
+            {"hash": "a" * 64, "status": "ok", "value": {"x": 1}},
+            {"hash": "b" * 64, "status": "journaled", "value": 2.5},
+            {"hash": "c" * 64, "status": "failed"},  # no value: must re-run
+        ]
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        completed = load_journal(path)
+        assert completed == {"a" * 64: {"x": 1}, "b" * 64: 2.5}
+
+    def test_torn_final_line_is_skipped(self, tmp_path):
+        from repro.telemetry.manifest import journal_path, load_journal
+
+        path = journal_path(tmp_path, "run2")
+        good = json.dumps({"hash": "a" * 64, "status": "ok", "value": 1})
+        path.write_text(good + "\n" + '{"hash": "bbbb", "stat')  # torn append
+        assert load_journal(path) == {"a" * 64: 1}
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        from repro.telemetry.manifest import journal_path, load_journal
+
+        assert load_journal(journal_path(tmp_path, "nope")) == {}
+
+
+class TestRecorderRobustness:
+    def _run(self, tmp_path, **runner_kwargs):
+        from repro.engine.runner import SweepRunner
+        from repro.engine.spec import ScenarioSpec, expand
+
+        points = expand(
+            [
+                ScenarioSpec.grid(
+                    "repro.testing.targets:echo_point",
+                    seed=0,
+                    seed_strategy="derived",
+                    x=[1, 2, 3],
+                )
+            ]
+        )
+        recorder = RunRecorder(
+            "echo", seed=0, command=["test"], runs_root=tmp_path
+        )
+        runner = SweepRunner(progress=recorder.observe, **runner_kwargs)
+        outcomes = runner.run(points)
+        return recorder, runner, outcomes
+
+    def test_initial_manifest_written_before_points(self, tmp_path):
+        recorder = RunRecorder("echo", seed=0, command=["test"], runs_root=tmp_path)
+        manifests = list(tmp_path.glob("run-*.json"))
+        assert len(manifests) == 1
+        initial = load_manifest(manifests[0])
+        assert initial.sweep_id == "echo"
+        assert initial.points == []
+        assert initial.journal.endswith(".journal.jsonl")
+        recorder.finalize(runs_root=tmp_path)
+
+    def test_journal_written_per_point(self, tmp_path):
+        from repro.telemetry.manifest import load_journal
+
+        recorder, runner, outcomes = self._run(tmp_path)
+        journal = load_journal(tmp_path / f"run-{recorder.record.run_id}.journal.jsonl")
+        assert len(journal) == 3
+        for outcome in outcomes:
+            assert journal[outcome.point.scenario_hash] == outcome.value
+        recorder.finalize(runs_root=tmp_path)
+
+    def test_finalize_stamps_faults_and_interrupted(self, tmp_path):
+        recorder, runner, _ = self._run(tmp_path)
+        path = recorder.finalize(
+            runs_root=tmp_path,
+            faults=runner.fault_stats.as_dict(),
+            interrupted=True,
+        )
+        loaded = load_manifest(path)
+        assert loaded.interrupted is True
+        assert loaded.failures["quarantined"] == 0
+        assert loaded.failures["retries"] == 0
+
+    def test_failed_outcomes_recorded_with_failure_payload(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULTS",
+            json.dumps({"seed": 0, "faults": [{"kind": "error", "indices": [1]}]}),
+        )
+        recorder, runner, outcomes = self._run(
+            tmp_path,
+            max_attempts=2,
+            raise_on_failure=False,
+            backoff_base_s=0.01,
+        )
+        path = recorder.finalize(
+            runs_root=tmp_path, faults=runner.fault_stats.as_dict()
+        )
+        loaded = load_manifest(path)
+        failed = [p for p in loaded.points if p.status == "failed"]
+        assert len(failed) == 1
+        assert failed[0].attempts == 2
+        assert failed[0].failure["kind"] == "error"
+        assert failed[0].failure["history"] == ["error", "error"]
+        assert loaded.failures == {
+            "retries": 1,
+            "timeouts": 0,
+            "crashes": 0,
+            "errors": 2,
+            "quarantined": 1,
+            "journal_skips": 0,
+        }
+        assert loaded.failed_count() == 1
+        assert loaded.retry_count() == 1
+
+
+class TestFaultReporting:
+    def test_fault_summary_aggregates_and_renders(self):
+        from repro.telemetry.report import fault_summary, render_fault_summary
+
+        healthy = RunRecord(run_id="1-a-a", sweep_id="fig01")
+        faulty = RunRecord(
+            run_id="2-b-b",
+            sweep_id="fig02a",
+            failures={"retries": 2, "timeouts": 1, "quarantined": 1, "errors": 2},
+            cache={"corruptions": 3},
+            interrupted=True,
+        )
+        totals = fault_summary([healthy, faulty])
+        assert totals["retries"] == 2
+        assert totals["timeouts"] == 1
+        assert totals["quarantined"] == 1
+        assert totals["cache_corruptions"] == 3
+        assert totals["interrupted_runs"] == 1
+        text = render_fault_summary(totals)
+        assert "2 retries" in text and "3 cache corruptions" in text
+        assert "1 interrupted runs" in text
+
+    def test_render_stats_includes_fault_summary_only_when_faulty(self):
+        healthy = RunRecord(run_id="1-a-a", sweep_id="fig01")
+        healthy.points = [PointRecord("a" * 64, "t", cached=False, duration_s=0.1)]
+        assert "faults:" not in render_stats([healthy])
+
+        faulty = RunRecord(
+            run_id="2-b-b", sweep_id="fig01", failures={"retries": 4}
+        )
+        faulty.points = [
+            PointRecord(
+                "b" * 64,
+                "t",
+                cached=False,
+                duration_s=0.0,
+                status="failed",
+                attempts=3,
+                failure={"kind": "timeout", "message": "m"},
+            )
+        ]
+        text = render_stats([healthy, faulty])
+        assert "faults: 4 retries" in text
+        assert "fail" in text and "retry" in text  # table columns
+
+    def test_experiment_rows_count_failures(self):
+        from repro.telemetry.report import experiment_rows
+
+        record = RunRecord(
+            run_id="1-a-a", sweep_id="fig01", failures={"retries": 2}
+        )
+        record.points = [
+            PointRecord("a" * 64, "t", cached=False, duration_s=0.1),
+            PointRecord(
+                "b" * 64, "t", cached=False, duration_s=0.0, status="failed"
+            ),
+        ]
+        (row,) = experiment_rows([record])
+        assert row["failed"] == 1
+        assert row["retries"] == 2
