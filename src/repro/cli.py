@@ -44,6 +44,14 @@ Trace a sweep and inspect the recorded telemetry (manifests + span events)::
 
     jellyfish-repro sweep run fig02c --trace -v
     jellyfish-repro stats --flame
+
+Drive one topology through months of seeded failure/repair churn, with a
+traffic epoch evaluated every simulated day (resumable; epoch records are
+journaled through the run manifest machinery)::
+
+    jellyfish-repro lifecycle run --family jellyfish --switches 40 \
+        --ports 8 --servers 64 --duration 240 --epoch-interval 24 --seed 3
+    jellyfish-repro lifecycle run --resume <run-id> [same flags]
 """
 
 from __future__ import annotations
@@ -837,10 +845,285 @@ def _sim_main(argv: List[str]) -> int:
         return 2
 
 
+def build_lifecycle_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jellyfish-repro lifecycle",
+        description=(
+            "Drive one topology through a seeded failure/repair lifecycle: "
+            "Poisson link/switch failures, exponential repairs, optional "
+            "expansion batches, and periodic traffic epochs"
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a lifecycle and print its per-epoch table"
+    )
+    plant = run_parser.add_argument_group("plant topology")
+    plant.add_argument(
+        "--family",
+        choices=["jellyfish", "fattree"],
+        default="jellyfish",
+        help="topology family (default jellyfish)",
+    )
+    plant.add_argument(
+        "--ports", type=int, default=8, help="ports per switch / fat-tree k (default 8)"
+    )
+    plant.add_argument(
+        "--switches", type=int, default=20, help="jellyfish switch count (default 20)"
+    )
+    plant.add_argument(
+        "--servers", type=int, default=16, help="jellyfish server count (default 16)"
+    )
+    plant.add_argument(
+        "--build-seed", type=int, default=0, help="rng seed for the plant build"
+    )
+
+    config = run_parser.add_argument_group("lifecycle config (times in simulated hours)")
+    config.add_argument("--duration", type=float, default=720.0, help="default 720 (one month)")
+    config.add_argument(
+        "--link-rate", type=float, default=0.1, help="link failures per hour (default 0.1)"
+    )
+    config.add_argument(
+        "--switch-rate", type=float, default=0.01, help="switch failures per hour (default 0.01)"
+    )
+    config.add_argument("--link-mttr", type=float, default=12.0, help="default 12")
+    config.add_argument("--switch-mttr", type=float, default=24.0, help="default 24")
+    config.add_argument(
+        "--epoch-interval", type=float, default=24.0, help="traffic epoch cadence (default 24)"
+    )
+    config.add_argument(
+        "--expansion-interval", type=float, default=0.0, help="0 disables expansion (default)"
+    )
+    config.add_argument("--expansion-batch", type=int, default=0, help="switches per batch")
+    config.add_argument("--expansion-ports", type=int, default=0, help="ports on added switches")
+    config.add_argument("--expansion-servers", type=int, default=0, help="servers per added switch")
+    config.add_argument(
+        "--max-events", type=int, default=0, help="truncate the stream (0 = no limit)"
+    )
+    config.add_argument(
+        "--engine", choices=["fluid", "path"], default="fluid", help="epoch evaluation engine"
+    )
+    config.add_argument("--routing", choices=["ksp", "ecmp"], default="ksp")
+    config.add_argument("--k", type=int, default=8, help="path budget / ECMP width")
+    config.add_argument("--cc", choices=["tcp1", "tcp8", "mptcp"], default="mptcp")
+    config.add_argument(
+        "--traffic",
+        choices=["per-epoch", "fixed"],
+        default="per-epoch",
+        help="'per-epoch' draws fresh permutation traffic each epoch; "
+        "'fixed' tracks one workload (revisited states memoize)",
+    )
+
+    execution = run_parser.add_argument_group("execution")
+    execution.add_argument(
+        "--backend",
+        choices=["incremental", "reference"],
+        default="incremental",
+        help="metric backend (reference = cold rebuild per event)",
+    )
+    execution.add_argument("--seed", type=int, default=0, help="lifecycle event-stream seed")
+    execution.add_argument(
+        "--max-attempts",
+        type=int,
+        default=3,
+        metavar="N",
+        help="evaluation attempts per epoch before it is marked failed (default 3)",
+    )
+    execution.add_argument(
+        "--resume",
+        default=None,
+        metavar="RUN_ID",
+        help="resume a previous run: journaled epochs are replayed, not "
+        "re-evaluated. Seed comes from the run's manifest; the lifecycle "
+        "flags must reproduce the same config (checked by hash)",
+    )
+    execution.add_argument(
+        "--runs-dir",
+        default=None,
+        help="directory for run manifests (default: $REPRO_RUNS_DIR or <cache root>/runs)",
+    )
+    execution.add_argument("-v", "--verbose", action="count", default=0)
+    return parser
+
+
+def _lifecycle_run(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.engine import default_cache_root
+    from repro.lifecycle import LifecycleConfig, run_lifecycle
+    from repro.lifecycle.engine import _build_plant
+    from repro.telemetry import RunRecorder, get_logger
+    from repro.telemetry.manifest import (
+        RUNS_DIR_ENV,
+        default_runs_root,
+        journal_path,
+        load_journal,
+        load_manifest,
+        manifest_path,
+    )
+
+    log = get_logger("lifecycle")
+    try:
+        config = LifecycleConfig(
+            duration_hours=args.duration,
+            link_failure_rate=args.link_rate,
+            switch_failure_rate=args.switch_rate,
+            link_mttr_hours=args.link_mttr,
+            switch_mttr_hours=args.switch_mttr,
+            epoch_interval_hours=args.epoch_interval,
+            expansion_interval_hours=args.expansion_interval,
+            expansion_batch=args.expansion_batch,
+            expansion_ports=args.expansion_ports,
+            expansion_servers=args.expansion_servers,
+            max_events=args.max_events,
+            epoch_engine=args.engine,
+            routing=args.routing,
+            k=args.k,
+            congestion_control=args.cc,
+            traffic=args.traffic,
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.runs_dir:
+        runs_root = Path(args.runs_dir).expanduser()
+    elif os.environ.get(RUNS_DIR_ENV):
+        runs_root = default_runs_root()
+    else:
+        runs_root = Path(default_cache_root()) / "runs"
+
+    sweep_id = f"lifecycle-{args.family}"
+    completed = None
+    resumed_from = None
+    seed = args.seed
+    if args.resume:
+        try:
+            previous = load_manifest(manifest_path(runs_root, args.resume))
+        except (OSError, ValueError, KeyError, TypeError) as error:
+            print(
+                f"error: cannot load manifest for run {args.resume!r} under "
+                f"{runs_root}: {error}",
+                file=sys.stderr,
+            )
+            return 2
+        if previous.sweep_id != sweep_id:
+            print(
+                f"error: run {args.resume} was {previous.sweep_id!r}, not {sweep_id!r}",
+                file=sys.stderr,
+            )
+            return 2
+        if previous.spec_hashes and previous.spec_hashes[0] != config.config_hash():
+            print(
+                f"error: run {args.resume} used a different lifecycle config "
+                "(give the same flags to resume it)",
+                file=sys.stderr,
+            )
+            return 2
+        seed = previous.seed if previous.seed is not None else args.seed
+        completed = load_journal(journal_path(runs_root, args.resume))
+        resumed_from = args.resume
+        log.info(
+            "resuming run %s: %d journaled epoch(s)", args.resume, len(completed)
+        )
+
+    try:
+        plant = _build_plant(
+            args.family,
+            {
+                "ports": args.ports,
+                "num_switches": args.switches,
+                "num_servers": args.servers,
+                "build_seed": args.build_seed,
+            },
+        )
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    recorder = RunRecorder(
+        sweep_id,
+        scale="lifecycle",
+        seed=seed,
+        workers=0,
+        spec_hashes=[config.config_hash()],
+        runs_root=runs_root,
+        resumed_from=resumed_from,
+    )
+
+    def observe(done: int, total: int, outcome) -> None:
+        recorder.observe(done, total, outcome)
+        if outcome.status == "failed":
+            source = f"FAILED after {outcome.attempts} attempt(s)"
+        elif outcome.cached:
+            source = "journaled"
+        else:
+            source = f"{outcome.duration_s:.2f}s"
+        log.info(
+            "[%d/%d] epoch %s %s", done, total, outcome.point.scenario_hash[:12], source
+        )
+
+    result = run_lifecycle(
+        plant,
+        config,
+        seed=seed,
+        backend=args.backend,
+        family=args.family,
+        completed=completed,
+        observer=observe,
+        max_attempts=args.max_attempts,
+    )
+    manifest = recorder.finalize(runs_root=runs_root)
+    log.info("manifest %s", manifest)
+
+    print(
+        f"lifecycle {args.family} ({plant.num_switches} switches, "
+        f"{sum(plant.servers.values())} servers): {result.events_applied} events, "
+        f"{len(result.epochs)} epoch(s), backend {result.backend}, seed {seed}"
+    )
+    header = ["epoch", "time_h", "throughput", "availability", "failed_links", "failed_switches"]
+    print("  " + "  ".join(f"{name:>15s}" for name in header))
+    for record in result.epochs:
+        print(
+            "  "
+            + "  ".join(
+                f"{record[name]:15.4f}"
+                if isinstance(record[name], float)
+                else f"{record[name]:15d}"
+                for name in header
+            )
+        )
+    print(
+        "  time-averaged throughput "
+        f"{result.time_average('throughput'):.4f}, availability "
+        f"{result.time_average('availability'):.4f}"
+    )
+    print(f"  run {recorder.record.run_id} (resume with: lifecycle run --resume ...)")
+    if result.failed_epochs:
+        print(
+            f"{result.failed_epochs} epoch(s) failed after retries; resume the "
+            "run to retry them",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _lifecycle_main(argv: List[str]) -> int:
+    from repro.telemetry import configure_logging
+
+    args = build_lifecycle_parser().parse_args(argv)
+    configure_logging(getattr(args, "verbose", 0))
+    return _lifecycle_run(args)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:]) if argv is None else list(argv)
     if argv and argv[0] == "sweep":
         return _sweep_main(argv[1:])
+    if argv and argv[0] == "lifecycle":
+        return _lifecycle_main(argv[1:])
     if argv and argv[0] == "topo":
         return _topo_main(argv[1:])
     if argv and argv[0] == "sim":

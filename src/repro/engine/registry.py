@@ -36,6 +36,7 @@ ENGINE_NATIVE = {
     "fig05": "repro.experiments.fig05_path_length_scaling",
     "fig05-ens": "repro.experiments.fig05_ensemble",
     "fig08-ens": "repro.experiments.fig08_ensemble",
+    "fig08-lifecycle": "repro.experiments.fig08_lifecycle",
     "fig12-dynamics": "repro.experiments.fig12_dynamics",
     "fig13-dynamics": "repro.experiments.fig13_dynamics",
 }

@@ -78,6 +78,7 @@ EXPERIMENTS: Dict[str, str] = {
     "fig07": "repro.experiments.fig07_legup",
     "fig08": "repro.experiments.fig08_failures",
     "fig08-ens": "repro.experiments.fig08_ensemble",
+    "fig08-lifecycle": "repro.experiments.fig08_lifecycle",
     "fig09": "repro.experiments.fig09_ecmp_diversity",
     "table1": "repro.experiments.table1_routing_cc",
     "fig10": "repro.experiments.fig10_sim_vs_optimal",

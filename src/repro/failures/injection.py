@@ -27,7 +27,8 @@ from typing import Hashable, List, Tuple
 
 import numpy as np
 
-from repro.flow.throughput import normalized_throughput
+from repro.failures.degradation import DegradationReport, split_reachable_demands
+from repro.flow.throughput import degraded_throughput, normalized_throughput
 from repro.topologies.base import Topology
 from repro.topologies.core import TopologyCore
 from repro.utils.rng import RngLike, ensure_rng
@@ -145,6 +146,44 @@ def fail_random_switches_core(
     return core.without_nodes(mask)
 
 
+def failed_link_topology(
+    topology: Topology, fraction: float, rng: RngLike = None
+) -> Topology:
+    """Mask-based equivalent of :func:`fail_random_links`.
+
+    Failures are selected on the :class:`TopologyCore` edge array (one rng
+    draw over indices -- the identical stream the copy-and-remove path
+    consumes) and the surviving core is re-ordered exactly as
+    ``nx.Graph.copy`` would (:meth:`TopologyCore.copy_as_graph_copy`), so
+    the result is structurally byte-identical to
+    ``fail_random_links(topology, fraction, rng)`` for the same seed --
+    same edges, same adjacency order, same downstream routing tie-breaks --
+    without ever materializing the intermediate ``networkx`` copy.
+    """
+    core = topology.core()
+    mask = link_failure_mask(core.num_edges, fraction, rng)
+    name = (
+        f"{topology.name}+{fraction:.0%}-link-failures"
+        if mask.any()
+        else topology.name
+    )
+    return Topology.from_core(core.without_edges(mask).copy_as_graph_copy(), name=name)
+
+
+def failed_switch_topology(
+    topology: Topology, fraction: float, rng: RngLike = None
+) -> Topology:
+    """Mask-based equivalent of :func:`fail_random_switches`."""
+    core = topology.core()
+    mask = switch_failure_mask(core.num_nodes, fraction, rng)
+    name = (
+        f"{topology.name}+{fraction:.0%}-switch-failures"
+        if mask.any()
+        else topology.name
+    )
+    return Topology.from_core(core.without_nodes(mask).copy_as_graph_copy(), name=name)
+
+
 def throughput_under_link_failures(
     topology: Topology,
     fractions,
@@ -157,46 +196,73 @@ def throughput_under_link_failures(
     Returns (fraction, normalized throughput) pairs; the traffic matrix is an
     independently sampled random permutation for each point, as in Fig 8.
     Pairs left disconnected by the failures count as zero throughput.
+
+    Failure selection runs through the mask-based core path
+    (:func:`failed_link_topology`) and evaluation through the
+    degradation-aware harness
+    (:func:`repro.flow.throughput.degraded_throughput`); both are
+    seed-for-seed identical to the historical copy-and-remove /
+    special-cased implementation, which survives only as the parity pin in
+    ``tests/test_failures.py``.
     """
     rand = ensure_rng(rng)
+    baseline = topology.num_servers
     results = []
     for fraction in fractions:
-        failed = fail_random_links(topology, fraction, rng=rand)
-        if not failed.is_connected():
-            # Evaluate only the largest connected component's traffic; the
-            # remainder contributes zero.
-            results.append((fraction, _throughput_with_disconnections(failed, engine, k, rand)))
-            continue
-        result = normalized_throughput(failed, engine=engine, k=k, rng=rand)
-        results.append((fraction, result.normalized))
+        failed = failed_link_topology(topology, fraction, rng=rand)
+        outcome = degraded_throughput(
+            failed, engine=engine, k=k, rng=rand, baseline_servers=baseline
+        )
+        results.append((fraction, outcome.normalized))
+    return results
+
+
+def throughput_under_switch_failures(
+    topology: Topology,
+    fractions,
+    engine: str = "path",
+    k: int = 8,
+    rng: RngLike = None,
+) -> List[Tuple[float, float, DegradationReport]]:
+    """Normalized throughput after failing each fraction of switches.
+
+    Returns (fraction, normalized throughput, report) triples.  Unlike link
+    failures, failing switches removes their servers, so the degenerate
+    case of failing every server-hosting switch is well-formed here: the
+    empty traffic matrix reports **zero** throughput with a
+    :class:`~repro.failures.degradation.DegradationReport` accounting for
+    every stranded server (historically this fell through to an empty
+    demand set that max-min/LP scored as fully served).
+    """
+    rand = ensure_rng(rng)
+    baseline = topology.num_servers
+    results = []
+    for fraction in fractions:
+        failed = failed_switch_topology(topology, fraction, rng=rand)
+        outcome = degraded_throughput(
+            failed, engine=engine, k=k, rng=rand, baseline_servers=baseline
+        )
+        results.append((fraction, outcome.normalized, outcome.report))
     return results
 
 
 def _throughput_with_disconnections(topology: Topology, engine, k, rand) -> float:
-    """Throughput when some switch pairs may be unreachable."""
-    import networkx as nx
+    """Throughput when some switch pairs may be unreachable (legacy shim).
 
+    Retained for the ensemble scenario targets; the component filtering now
+    runs on the CSR labeling shared with :mod:`repro.failures.degradation`
+    (numerically identical to the old per-call ``networkx`` component
+    scan).
+    """
     from repro.traffic.matrices import TrafficMatrix, random_permutation_traffic
 
     traffic = random_permutation_traffic(topology, rng=rand)
     if len(traffic) == 0:
         return 1.0
-    components = list(nx.connected_components(topology.graph))
-    component_of = {}
-    for index, component in enumerate(components):
-        for node in component:
-            component_of[node] = index
-
-    reachable = [
-        d
-        for d in traffic
-        if component_of[d.source_switch] == component_of[d.destination_switch]
-    ]
-    unreachable_count = len(traffic) - len(reachable)
+    reachable, _ = split_reachable_demands(topology, traffic)
     if not reachable:
         return 0.0
     result = normalized_throughput(
         topology, TrafficMatrix(reachable), engine=engine, k=k, rng=rand
     )
-    total_flows = len(traffic)
-    return (result.normalized * len(reachable)) / total_flows if total_flows else 0.0
+    return (result.normalized * len(reachable)) / len(traffic)

@@ -31,11 +31,18 @@ DirectedLink = Tuple[Hashable, Hashable]
 
 @dataclass
 class FlowSpec:
-    """A flow with one or more subflow paths and an aggregate demand cap.
+    """A flow with zero or more subflow paths and an aggregate demand cap.
 
     ``subflow_caps`` optionally caps each subflow individually (used to model
     applications that stripe data evenly over parallel TCP connections, as
     opposed to MPTCP which rebalances freely within the aggregate cap).
+
+    An *empty* ``paths`` list is an **unrouted** flow -- the degradation
+    semantics for a demand whose endpoints are unreachable on a partitioned
+    topology (see :mod:`repro.failures.degradation`).  Unrouted flows place
+    no subflows, claim no capacity, and are allocated exactly 0.0 by both
+    max-min implementations, so they show up as zero throughput rather than
+    an exception.
     """
 
     flow_id: Hashable
@@ -44,8 +51,6 @@ class FlowSpec:
     subflow_caps: Optional[List[float]] = None
 
     def __post_init__(self) -> None:
-        if not self.paths:
-            raise ValueError(f"flow {self.flow_id!r} has no paths")
         if self.demand <= 0:
             raise ValueError(f"flow {self.flow_id!r} has non-positive demand")
         if self.subflow_caps is not None and len(self.subflow_caps) != len(self.paths):

@@ -23,7 +23,10 @@ routes each newly demanded switch pair once.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # runtime import is lazy to avoid a failures<->flow cycle
+    from repro.failures.degradation import DegradationReport
 
 import numpy as np
 
@@ -55,6 +58,25 @@ class ThroughputResult:
 
     def supports_full_capacity(self) -> bool:
         return self.theta >= 1.0 - 1e-9
+
+
+@dataclass(frozen=True)
+class DegradedThroughputResult:
+    """A throughput evaluation carrying its structural damage report.
+
+    ``normalized`` is the degradation-scaled per-flow throughput in [0, 1]:
+    unreachable demands contribute exactly zero, reachable demands are
+    evaluated by the LP within their components, and the two are combined
+    as ``lp_normalized * reachable / total`` -- the single semantics every
+    kernel follows on partitioned topologies (see
+    :mod:`repro.failures.degradation`).  ``report`` is the structured
+    :class:`~repro.failures.degradation.DegradationReport`.
+    """
+
+    normalized: float
+    theta: float
+    num_flows: int
+    report: "DegradationReport"
 
 
 def concurrent_flow(
@@ -89,6 +111,80 @@ def normalized_throughput(
     theta = concurrent_flow(topology, traffic, engine=engine, k=k)
     return ThroughputResult(
         theta=theta, normalized=min(theta, 1.0), num_flows=len(traffic)
+    )
+
+
+def degraded_throughput(
+    topology: Topology,
+    traffic: Optional[TrafficMatrix] = None,
+    engine: str = "path",
+    k: int = 8,
+    rng: RngLike = None,
+    baseline_servers: Optional[int] = None,
+) -> DegradedThroughputResult:
+    """Normalized throughput with explicit degradation semantics.
+
+    The degradation-safe counterpart of :func:`normalized_throughput` for
+    topologies that may be partitioned or stripped of servers by failures:
+
+    * demands whose endpoints sit in different connected components count
+      as zero throughput (they are filtered out before the LP ever sees
+      them, so nothing raises);
+    * reachable demands are evaluated normally and scaled by the reachable
+      fraction, matching the historical fig08 disconnection handling
+      bit-for-bit on the same inputs;
+    * an *empty* traffic matrix is only "fully served" when nothing was
+      lost -- if ``baseline_servers`` (the healthy plant's server count)
+      shows that demand used to exist but can no longer be expressed
+      (every server-hosting switch failed), the result is 0.0, not the
+      vacuous 1.0 the raw LP harness reports.
+
+    Returns a :class:`DegradedThroughputResult` whose ``report`` field
+    carries the component structure behind the number.
+    """
+    from repro.failures.degradation import (  # lazy: failures imports flow
+        degradation_report,
+        split_reachable_demands,
+    )
+
+    if traffic is None:
+        traffic = random_permutation_traffic(topology, rng=rng)
+    report = degradation_report(
+        topology, traffic=traffic, baseline_servers=baseline_servers
+    )
+    if len(traffic) == 0:
+        lost_all_demand = (
+            baseline_servers is not None
+            and baseline_servers >= 2
+            and topology.num_servers < 2
+        )
+        value = 0.0 if lost_all_demand else 1.0
+        return DegradedThroughputResult(
+            normalized=value,
+            theta=0.0 if lost_all_demand else float("inf"),
+            num_flows=0,
+            report=report,
+        )
+    if report.num_components <= 1:
+        result = normalized_throughput(topology, traffic, engine=engine, k=k)
+        return DegradedThroughputResult(
+            normalized=result.normalized,
+            theta=result.theta,
+            num_flows=result.num_flows,
+            report=report,
+        )
+    reachable, _ = split_reachable_demands(topology, traffic)
+    total_flows = len(traffic)
+    if not reachable:
+        return DegradedThroughputResult(
+            normalized=0.0, theta=0.0, num_flows=total_flows, report=report
+        )
+    result = normalized_throughput(
+        topology, TrafficMatrix(reachable), engine=engine, k=k
+    )
+    scaled = (result.normalized * len(reachable)) / total_flows
+    return DegradedThroughputResult(
+        normalized=scaled, theta=result.theta, num_flows=total_flows, report=report
     )
 
 
@@ -140,7 +236,10 @@ def _throughput_upper_bound(topology: Topology, traffic: TrafficMatrix) -> float
     distances = csr.hop_distance_matrix(unique_sources.tolist())
     hops = distances[inverse, arrays.dst]
     if (hops < 0).any():
-        return float("inf")  # unreachable pair: leave it to the LP path
+        # Unreachable pair: no volume bound applies.  Degradation-aware
+        # callers (degraded_throughput, the lifecycle engine) filter such
+        # demands before solving; the raw LP path still raises, by design.
+        return float("inf")
     # Sequential sum in demand order keeps the bound bit-identical to the
     # historical scalar accumulation (numpy's pairwise sum would not).
     total_cost = sum((arrays.rates * hops).tolist())

@@ -182,6 +182,43 @@ def csr_is_connected(csr: CSRGraph) -> bool:
     return bool((csr.distance_row(0) >= 0).all())
 
 
+def csr_component_labels(csr: CSRGraph) -> np.ndarray:
+    """Connected-component label per node, in discovery order.
+
+    Labels are dense ints starting at 0; component 0 contains node 0 (when
+    the graph is non-empty).  Every degradation-safe kernel shares this
+    labeling -- the :class:`~repro.failures.degradation.DegradationReport`
+    of a partitioned topology is derived from it -- so "same component"
+    means the same thing everywhere.
+    """
+    labels = np.full(csr.num_nodes, -1, dtype=np.int64)
+    indptr = csr.indptr
+    indices = csr.indices
+    next_label = 0
+    for start in range(csr.num_nodes):
+        if labels[start] >= 0:
+            continue
+        labels[start] = next_label
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            for neighbor in indices[indptr[node] : indptr[node + 1]].tolist():
+                if labels[neighbor] < 0:
+                    labels[neighbor] = next_label
+                    stack.append(neighbor)
+        next_label += 1
+    return labels
+
+
+def connected_components_csr(csr: CSRGraph) -> List[np.ndarray]:
+    """Node-index arrays of each connected component (discovery order)."""
+    labels = csr_component_labels(csr)
+    if csr.num_nodes == 0:
+        return []
+    count = int(labels.max()) + 1
+    return [np.flatnonzero(labels == label) for label in range(count)]
+
+
 def average_path_length_csr(csr: CSRGraph) -> float:
     """Mean shortest-path length over distinct reachable pairs (CSR entry)."""
     histogram = path_length_distribution_csr(csr)

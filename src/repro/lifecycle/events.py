@@ -1,0 +1,203 @@
+"""Deterministic lifecycle event streams: failures, repairs, expansion, epochs.
+
+A lifecycle is months of simulated time over one deployment: links and
+switches fail as Poisson arrivals, repairs complete after exponential
+delays around a configurable MTTR, the operator grows the network in
+periodic expansion batches (Section 6.2 of the paper), and a *traffic
+epoch* -- a full routing + throughput evaluation -- runs on a fixed cadence.
+
+The stream is generated **up front** from ``(config, seed)`` and is a pure
+function of both: arrival gaps and repair delays come from one string-seeded
+``random.Random``, epochs and expansions sit at fixed multiples of their
+intervals, and same-time collisions order by a fixed kind priority (repairs
+before failures before expansion before the epoch, so an epoch always sees
+the settled state of its instant).  Crucially the stream names *no victims*
+-- a failure event carries only a sequence key; the victim is drawn at apply
+time from the surviving equipment (:mod:`repro.lifecycle.state`).  That
+keeps one stream applicable to any topology family, which is what lets the
+``fig08-lifecycle`` experiment subject Jellyfish and the fat-tree to an
+*identical* schedule of adversity.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import random
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+#: Event kinds, in same-time priority order (lower fires first).
+LINK_REPAIR = "link_repair"
+SWITCH_REPAIR = "switch_repair"
+LINK_FAIL = "link_fail"
+SWITCH_FAIL = "switch_fail"
+EXPAND = "expand"
+EPOCH = "epoch"
+
+EVENT_KINDS = (LINK_REPAIR, SWITCH_REPAIR, LINK_FAIL, SWITCH_FAIL, EXPAND, EPOCH)
+
+_PRIORITY = {kind: index for index, kind in enumerate(EVENT_KINDS)}
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Knobs for one lifecycle run; times are simulated hours.
+
+    ``link_failure_rate`` / ``switch_failure_rate`` are *aggregate* arrival
+    rates (failures per hour over the whole plant), deliberately independent
+    of the topology's size so the same config produces the same event stream
+    for every family under comparison.  ``expansion_interval_hours = 0``
+    disables growth (required for families that cannot expand, and for
+    like-for-like Jellyfish vs fat-tree timelines).
+    """
+
+    duration_hours: float = 720.0
+    link_failure_rate: float = 0.1
+    switch_failure_rate: float = 0.01
+    link_mttr_hours: float = 12.0
+    switch_mttr_hours: float = 24.0
+    epoch_interval_hours: float = 24.0
+    expansion_interval_hours: float = 0.0
+    expansion_batch: int = 0
+    expansion_ports: int = 0
+    expansion_servers: int = 0
+    max_events: int = 0
+    epoch_engine: str = "fluid"
+    routing: str = "ksp"
+    k: int = 8
+    congestion_control: str = "mptcp"
+    traffic: str = "per-epoch"
+
+    def __post_init__(self) -> None:
+        if self.duration_hours <= 0:
+            raise ValueError("duration_hours must be positive")
+        for field_name in ("link_failure_rate", "switch_failure_rate"):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        for field_name in ("link_mttr_hours", "switch_mttr_hours", "epoch_interval_hours"):
+            if getattr(self, field_name) <= 0:
+                raise ValueError(f"{field_name} must be positive")
+        if self.expansion_interval_hours < 0:
+            raise ValueError("expansion_interval_hours must be non-negative")
+        if self.expansion_interval_hours > 0:
+            if self.expansion_batch <= 0:
+                raise ValueError("expansion_batch must be positive when expanding")
+            if self.expansion_ports <= 0:
+                raise ValueError("expansion_ports must be positive when expanding")
+            if not 0 <= self.expansion_servers <= self.expansion_ports:
+                raise ValueError(
+                    "expansion_servers must be between 0 and expansion_ports"
+                )
+        if self.max_events < 0:
+            raise ValueError("max_events must be non-negative")
+        if self.epoch_engine not in ("fluid", "path"):
+            raise ValueError(f"unknown epoch_engine {self.epoch_engine!r}")
+        if self.routing not in ("ksp", "ecmp"):
+            raise ValueError(f"unknown routing {self.routing!r}")
+        if self.k <= 0:
+            raise ValueError("k must be positive")
+        if self.congestion_control not in ("tcp1", "tcp8", "mptcp"):
+            raise ValueError(
+                f"unknown congestion_control {self.congestion_control!r}"
+            )
+        if self.traffic not in ("per-epoch", "fixed"):
+            raise ValueError(f"unknown traffic mode {self.traffic!r}")
+
+    def config_hash(self) -> str:
+        """Content hash of the config (stamps manifests; guards resume)."""
+        payload = json.dumps(asdict(self), sort_keys=True)
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True)
+class LifecycleEvent:
+    """One scheduled event.
+
+    ``key`` pairs a failure with its repair (both carry the same sequence
+    number), numbers epochs, and counts expansion batches.  Orphans are
+    legal: a repair whose failure was a no-op (nothing left to fail), or a
+    failure whose repair fell past ``duration_hours`` / the ``max_events``
+    truncation point, both resolve as no-ops at apply time.
+    """
+
+    time_h: float
+    kind: str
+    key: int
+
+    def sort_key(self):
+        return (self.time_h, _PRIORITY[self.kind], self.key)
+
+
+def _poisson_stream(
+    rng: random.Random,
+    rate: float,
+    mttr: float,
+    duration: float,
+    fail_kind: str,
+    repair_kind: str,
+) -> List[LifecycleEvent]:
+    """Failure arrivals with exponential repair completions."""
+    events: List[LifecycleEvent] = []
+    if rate <= 0:
+        return events
+    t = 0.0
+    key = 0
+    while True:
+        t += rng.expovariate(rate)
+        if t >= duration:
+            break
+        events.append(LifecycleEvent(t, fail_kind, key))
+        repair_at = t + rng.expovariate(1.0 / mttr)
+        if repair_at < duration:
+            events.append(LifecycleEvent(repair_at, repair_kind, key))
+        key += 1
+    return events
+
+
+def generate_events(config: LifecycleConfig, seed: Optional[int]) -> List[LifecycleEvent]:
+    """The full sorted event stream for ``(config, seed)``.
+
+    Deterministic: the two Poisson processes draw from independent
+    string-seeded generators (so changing the switch rate never perturbs
+    the link schedule), epochs sit at ``0, interval, 2*interval, ...`` and
+    expansions at ``interval, 2*interval, ...`` (never at t=0 -- the run
+    starts on the as-built plant).  ``max_events`` keeps the sorted prefix;
+    a truncated repair simply leaves its link down for the remainder.
+    """
+    events = _poisson_stream(
+        random.Random(f"lifecycle-events:{seed}:links"),
+        config.link_failure_rate,
+        config.link_mttr_hours,
+        config.duration_hours,
+        LINK_FAIL,
+        LINK_REPAIR,
+    )
+    events += _poisson_stream(
+        random.Random(f"lifecycle-events:{seed}:switches"),
+        config.switch_failure_rate,
+        config.switch_mttr_hours,
+        config.duration_hours,
+        SWITCH_FAIL,
+        SWITCH_REPAIR,
+    )
+
+    index = 0
+    t = 0.0
+    while t < config.duration_hours:
+        events.append(LifecycleEvent(t, EPOCH, index))
+        index += 1
+        t = index * config.epoch_interval_hours
+
+    if config.expansion_interval_hours > 0:
+        index = 1
+        while index * config.expansion_interval_hours < config.duration_hours:
+            events.append(
+                LifecycleEvent(index * config.expansion_interval_hours, EXPAND, index)
+            )
+            index += 1
+
+    events.sort(key=LifecycleEvent.sort_key)
+    if config.max_events and len(events) > config.max_events:
+        events = events[: config.max_events]
+    return events

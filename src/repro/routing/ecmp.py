@@ -18,14 +18,20 @@ from repro.routing.ksp import Path
 from repro.utils.rng import RngLike, ensure_rng
 
 
-def all_shortest_paths(graph: nx.Graph, source: Hashable, target: Hashable) -> List[Path]:
+def all_shortest_paths(
+    graph: nx.Graph, source: Hashable, target: Hashable, csr=None
+) -> List[Path]:
     """All shortest paths between two nodes, deterministically ordered.
 
     Enumerated over the CSR kernel: two BFS distance rows (from source and
     target) classify which edges lie on a shortest path, and a DFS walks
     exactly those.  Paths are ordered by native node sequence.
+
+    ``csr`` lets batch callers pass the validated CSR view once instead of
+    paying the fingerprint revalidation per pair.
     """
-    csr = csr_graph(graph)
+    if csr is None:
+        csr = csr_graph(graph)
     key = ("ecmp", source, target)
     cached = csr.result_cache.get(key)
     if cached is not None:
@@ -45,12 +51,12 @@ def all_shortest_paths(graph: nx.Graph, source: Hashable, target: Hashable) -> L
 
 
 def ecmp_paths(
-    graph: nx.Graph, source: Hashable, target: Hashable, width: int = 8
+    graph: nx.Graph, source: Hashable, target: Hashable, width: int = 8, csr=None
 ) -> List[Path]:
     """The path set w-way ECMP can use: up to ``width`` shortest paths."""
     if width <= 0:
         raise ValueError("width must be positive")
-    return all_shortest_paths(graph, source, target)[:width]
+    return all_shortest_paths(graph, source, target, csr=csr)[:width]
 
 
 def ecmp_route_flows(

@@ -79,6 +79,7 @@ def build_path_set(
     pairs: Sequence[Pair],
     scheme: str = "ksp",
     k: int = 8,
+    on_unreachable: str = "raise",
 ) -> PathSet:
     """Build a :class:`PathSet` for the given pairs.
 
@@ -87,12 +88,18 @@ def build_path_set(
     KSP queries go through :func:`~repro.routing.ksp.all_pairs_k_shortest_paths`,
     which validates the graph's CSR view once for the whole batch and
     shares one BFS tree across the targets of each source.
+
+    ``on_unreachable`` selects the degradation semantics for pairs with no
+    path (a partitioned graph): ``"raise"`` (historical default) raises
+    ``ValueError``; ``"skip"`` leaves the pair out of the table, which the
+    flow and simulation engines report as zero throughput (see
+    :mod:`repro.failures.degradation`).
     """
     if scheme not in ("ksp", "ecmp"):
         raise ValueError(f"unknown routing scheme {scheme!r}")
     distinct = [(source, target) for source, target in pairs if source != target]
     table: Dict[Pair, List[Path]] = {}
-    _extend_table(graph, table, distinct, scheme, k)
+    _extend_table(graph, table, distinct, scheme, k, on_unreachable)
     return PathSet(paths=table, kind=f"{scheme}-{k}")
 
 
@@ -102,19 +109,34 @@ def _extend_table(
     pending: Sequence[Pair],
     scheme: str,
     k: int,
+    on_unreachable: str = "raise",
 ) -> None:
-    """Compute and store paths for ``pending`` pairs (raises if one has none)."""
+    """Compute and store paths for ``pending`` pairs.
+
+    Pairs with no path either raise (``on_unreachable="raise"``) or are
+    skipped -- never stored -- so a skip-mode table holds routes exactly
+    for the reachable pairs.
+    """
+    if on_unreachable not in ("raise", "skip"):
+        raise ValueError(
+            f"on_unreachable must be 'raise' or 'skip', got {on_unreachable!r}"
+        )
     if scheme == "ksp":
         computed = all_pairs_k_shortest_paths(graph, pending, k)
         for pair in pending:
             options = computed[pair]
             if not options:
+                if on_unreachable == "skip":
+                    continue
                 raise ValueError(f"no path between {pair[0]!r} and {pair[1]!r}")
             table[pair] = options
     else:
+        csr = csr_graph(graph) if pending else None
         for source, target in pending:
-            options = ecmp_paths(graph, source, target, width=k)
+            options = ecmp_paths(graph, source, target, width=k, csr=csr)
             if not options:
+                if on_unreachable == "skip":
+                    continue
                 raise ValueError(f"no path between {source!r} and {target!r}")
             table[(source, target)] = options
 
@@ -124,6 +146,7 @@ def shared_path_set(
     pairs: Sequence[Pair],
     scheme: str = "ksp",
     k: int = 8,
+    on_unreachable: str = "raise",
 ) -> PathSet:
     """A :class:`PathSet` shared across calls for structurally equal graphs.
 
@@ -138,6 +161,11 @@ def shared_path_set(
     The returned table is shared state: callers must treat it as read-only.
     In-place graph mutations change the content hash (via the CSR
     fingerprint revalidation), so a stale table is never returned.
+
+    ``on_unreachable="skip"`` applies the degradation semantics of
+    :func:`build_path_set`: unreachable pairs are left out of the table
+    (and re-probed on later calls, since absence is how "unreachable" is
+    represented).
     """
     if scheme not in ("ksp", "ecmp"):
         raise ValueError(f"unknown routing scheme {scheme!r}")
@@ -156,7 +184,7 @@ def shared_path_set(
         if source != target and (source, target) not in table.paths
     ]
     if pending:
-        _extend_table(graph, table.paths, pending, scheme, k)
+        _extend_table(graph, table.paths, pending, scheme, k, on_unreachable)
     return table
 
 

@@ -66,10 +66,17 @@ def _build_subflows_reference(
     path_set: PathSet,
     config: AimdConfig,
     rand,
-) -> Tuple[List[_Subflow], List[float]]:
-    """Create subflows and per-connection demand caps (in packets/round)."""
+) -> Tuple[List[_Subflow], List[float], set]:
+    """Create subflows, per-connection demand caps, and unreachable indices.
+
+    A pair absent from a skip-mode path set is unreachable (the topology is
+    partitioned): it produces no subflows and its index lands in the
+    returned set so result assembly reports it at exactly 0.0, mirroring
+    the vectorized engine's degradation semantics.
+    """
     subflows: List[_Subflow] = []
     demands: List[float] = []
+    unreachable: set = set()
     for index, demand in enumerate(traffic):
         src, dst = demand.source_switch, demand.destination_switch
         demand_pkts = demand.rate * config.packets_per_round
@@ -78,7 +85,8 @@ def _build_subflows_reference(
             continue  # same-rack traffic never crosses the network
         options = path_set.get((src, dst))
         if not options:
-            raise ValueError(f"no path for demanded pair ({src!r}, {dst!r})")
+            unreachable.add(index)
+            continue
         if config.congestion_control == TCP_ONE_FLOW:
             chosen = options[rand.randrange(len(options))]
             subflows.append(_Subflow(index, chosen, config.initial_cwnd))
@@ -91,7 +99,7 @@ def _build_subflows_reference(
             for i in range(config.subflows):
                 path = options[i % len(options)]
                 subflows.append(_Subflow(index, path, config.initial_cwnd, cap))
-    return subflows, demands
+    return subflows, demands, unreachable
 
 
 def simulate_aimd_reference(
@@ -113,10 +121,16 @@ def simulate_aimd_reference(
     pairs = list(traffic.switch_pairs())
     if path_set is None:
         path_set = build_path_set(
-            topology.graph, pairs, scheme=config.routing, k=config.k
+            topology.graph,
+            pairs,
+            scheme=config.routing,
+            k=config.k,
+            on_unreachable="skip",
         )
 
-    subflows, demands = _build_subflows_reference(traffic, path_set, config, rand)
+    subflows, demands, unreachable = _build_subflows_reference(
+        traffic, path_set, config, rand
+    )
     capacities = link_capacities(topology, scale=config.packets_per_round)
     mptcp = config.congestion_control == MPTCP
     num_connections = len(demands)
@@ -195,7 +209,10 @@ def simulate_aimd_reference(
         if demand <= 0:
             continue
         reported.append(connection)
-        if connection not in crossing:
+        if connection in unreachable:
+            # Degradation semantics: an unreachable pair carries nothing.
+            throughputs.append(0.0)
+        elif connection not in crossing:
             # Same-rack traffic never crosses the network, always served.
             throughputs.append(1.0)
         elif measured_rounds == 0:
@@ -212,7 +229,7 @@ def simulate_aimd_reference(
             [demands[connection] for connection in reported], dtype=np.float64
         )
         for column, connection in enumerate(reported):
-            if connection not in crossing:
+            if connection not in crossing and connection not in unreachable:
                 trace[:, column] = 1.0
         convergence = measure_convergence_round(
             trace,

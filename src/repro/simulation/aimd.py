@@ -203,7 +203,12 @@ class _CompiledSubflows:
     subflow has at least one hop -- same-rack demands never produce
     subflows).  ``connection_of`` maps subflows to demand indices,
     ``subflow_cap`` holds the per-subflow offer cap (``inf`` unless tcp8),
-    and ``link_capacity`` the per-link-id packet budget.
+    and ``link_capacity`` the per-link-id packet budget.  ``unreachable``
+    marks connections whose pair has no route on a partitioned topology --
+    they produce no subflows and are reported at exactly 0.0 (the
+    degradation semantics of :mod:`repro.failures.degradation`), distinct
+    from same-rack connections which also lack subflows but count as fully
+    served.
     """
 
     hop_links: np.ndarray
@@ -214,6 +219,7 @@ class _CompiledSubflows:
     link_capacity: np.ndarray
     demands: np.ndarray
     has_subflows: np.ndarray
+    unreachable: np.ndarray
     num_connections: int
     num_subflows: int
 
@@ -240,13 +246,15 @@ def _compile_subflows(
     tcp8 = config.congestion_control == TCP_EIGHT_FLOWS
 
     # Per-pair compiled paths: each option becomes an int64 array of
-    # directed-link keys (u * n + v in CSR index space).
+    # directed-link keys (u * n + v in CSR index space).  An unreachable
+    # pair (absent from a skip-mode path set) compiles to an empty option
+    # list, not an exception.
     compiled_pairs: Dict[Tuple[Hashable, Hashable], List[np.ndarray]] = {}
 
     def compile_pair(pair: Tuple[Hashable, Hashable]) -> List[np.ndarray]:
         options = path_set.get(pair)
         if not options:
-            raise ValueError(f"no path for demanded pair ({pair[0]!r}, {pair[1]!r})")
+            return []
         arrays = []
         for path in options:
             indices = np.fromiter(
@@ -261,6 +269,7 @@ def _compile_subflows(
     subflow_cap: List[float] = []
     demands: List[float] = []
     has_subflows: List[bool] = []
+    unreachable: List[bool] = []
 
     for index, demand in enumerate(traffic):
         src, dst = demand.source_switch, demand.destination_switch
@@ -268,12 +277,19 @@ def _compile_subflows(
         demands.append(demand_pkts)
         if src == dst:
             has_subflows.append(False)
+            unreachable.append(False)
             continue  # same-rack traffic never crosses the network
-        has_subflows.append(True)
         pair = (src, dst)
         options = compiled_pairs.get(pair)
         if options is None:
             options = compiled_pairs[pair] = compile_pair(pair)
+        if not options:
+            # Degradation semantics: no route -> no subflows, 0.0 reported.
+            has_subflows.append(False)
+            unreachable.append(True)
+            continue
+        has_subflows.append(True)
+        unreachable.append(False)
         if tcp1:
             chosen = options[rand.randrange(len(options))]
             chunks.append(chosen)
@@ -324,6 +340,7 @@ def _compile_subflows(
         link_capacity=link_capacity,
         demands=np.asarray(demands, dtype=np.float64),
         has_subflows=np.asarray(has_subflows, dtype=bool),
+        unreachable=np.asarray(unreachable, dtype=bool),
         num_connections=len(demands),
         num_subflows=num_subflows,
     )
@@ -417,7 +434,10 @@ def _assemble_result(
     reported = np.flatnonzero(compiled.demands > 0)
     throughputs: List[float] = []
     for connection in reported.tolist():
-        if not compiled.has_subflows[connection]:
+        if compiled.unreachable[connection]:
+            # Degradation semantics: an unreachable pair carries nothing.
+            throughputs.append(0.0)
+        elif not compiled.has_subflows[connection]:
             # Same-rack traffic never crosses the network, always served.
             throughputs.append(1.0)
         elif measured_rounds == 0:
@@ -430,9 +450,12 @@ def _assemble_result(
     trace = None
     if reported.size:
         # Normalized per-round trace over the reported connections; served
-        # same-rack columns sit at 1.0 by definition.
+        # same-rack columns sit at 1.0 by definition, unreachable ones at 0.
         trace = round_goodput[:, reported] / compiled.demands[reported]
-        trace[:, ~compiled.has_subflows[reported]] = 1.0
+        served_locally = (
+            ~compiled.has_subflows[reported] & ~compiled.unreachable[reported]
+        )
+        trace[:, served_locally] = 1.0
         convergence = measure_convergence_round(
             trace,
             config.warmup_rounds,
@@ -472,7 +495,11 @@ def simulate_aimd(
     if path_set is None:
         arrays = traffic.as_switch_array(topology.csr().index_of)
         path_set = shared_path_set(
-            topology.graph, arrays.pairs, scheme=config.routing, k=config.k
+            topology.graph,
+            arrays.pairs,
+            scheme=config.routing,
+            k=config.k,
+            on_unreachable="skip",
         )
 
     with trace("aimd.compile", connections=len(traffic)) as span:

@@ -112,7 +112,11 @@ def _build_flow_specs(
             continue
         options = path_set.get((src, dst))
         if not options:
-            raise ValueError(f"no path for demanded pair ({src!r}, {dst!r})")
+            # Degradation semantics: an unreachable pair (absent from a
+            # skip-mode path set on a partitioned topology) becomes an
+            # unrouted flow -- no subflows, allocated exactly 0.0.
+            specs.append(FlowSpec(flow_id=flow_id, paths=[], demand=demand.rate))
+            continue
 
         if config.congestion_control == TCP_ONE_FLOW:
             chosen = options[rand.randrange(len(options))]
@@ -231,7 +235,11 @@ def simulate_fluid(
         # one topology (fig10's trials, fig13's per-scheme passes) route each
         # switch pair once instead of once per traffic matrix.
         path_set = shared_path_set(
-            topology.graph, pairs, scheme=config.routing, k=config.k
+            topology.graph,
+            pairs,
+            scheme=config.routing,
+            k=config.k,
+            on_unreachable="skip",
         )
 
     specs = _build_flow_specs(traffic, path_set, config, rand)

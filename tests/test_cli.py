@@ -322,6 +322,69 @@ class TestSweepRobustness:
         )
         assert code == 0
 
+class TestLifecycleCli:
+    def _argv(self, runs_dir, *extra):
+        return [
+            "lifecycle", "run", "--family", "jellyfish", "--switches", "12",
+            "--ports", "6", "--servers", "24", "--duration", "72",
+            "--epoch-interval", "24", "--link-rate", "0.3", "--link-mttr", "4",
+            "--engine", "path", "--routing", "ecmp", "--k", "4", "--cc",
+            "tcp1", "--seed", "3", "--runs-dir", str(runs_dir), *extra,
+        ]
+
+    def test_lifecycle_run_prints_table_and_writes_manifest(
+        self, capsys, tmp_path
+    ):
+        assert main(self._argv(tmp_path)) == 0
+        out = capsys.readouterr().out
+        assert "lifecycle jellyfish (12 switches, 24 servers)" in out
+        assert "3 epoch(s)" in out
+        assert "time-averaged throughput" in out
+        assert list(tmp_path.glob("run-*.json"))
+        assert list(tmp_path.glob("run-*.journal.jsonl"))
+
+    def test_lifecycle_resume_replays_identical_timeline(self, capsys, tmp_path):
+        import json
+
+        assert main(self._argv(tmp_path)) == 0
+        first = capsys.readouterr().out
+        manifest = sorted(tmp_path.glob("run-*.json"))[0]
+        run_id = json.loads(manifest.read_text())["run_id"]
+
+        assert main(self._argv(tmp_path, "--resume", run_id)) == 0
+        second = capsys.readouterr().out
+
+        def table(text):
+            return [
+                line for line in text.splitlines() if not line.startswith("  run ")
+            ]
+
+        assert table(first) == table(second)
+        manifests = [
+            json.loads(p.read_text()) for p in sorted(tmp_path.glob("run-*.json"))
+        ]
+        resumed = next(m for m in manifests if m["resumed_from"] == run_id)
+        assert all(p["status"] == "journaled" for p in resumed["points"])
+
+    def test_lifecycle_resume_rejects_changed_config(self, capsys, tmp_path):
+        import json
+
+        assert main(self._argv(tmp_path)) == 0
+        capsys.readouterr()
+        manifest = sorted(tmp_path.glob("run-*.json"))[0]
+        run_id = json.loads(manifest.read_text())["run_id"]
+        assert (
+            main(self._argv(tmp_path, "--resume", run_id, "--link-mttr", "8"))
+            == 2
+        )
+        assert "different lifecycle config" in capsys.readouterr().err
+
+    def test_lifecycle_rejects_invalid_config(self, capsys, tmp_path):
+        assert main(self._argv(tmp_path, "--duration", "0")) == 2
+        assert "duration_hours" in capsys.readouterr().err
+
+
+class TestSweepRobustnessSignals:
     def test_sigterm_flushes_manifest_and_exits_143(self, tmp_path):
         import json
         import os

@@ -15,8 +15,9 @@ ALL_EXPERIMENTS = list_experiments()
 class TestRegistry:
     def test_all_experiments_registered(self):
         # 17 paper figures/tables + 3 ensemble variants (fig02a/05/08-ens)
-        # + 2 AIMD dynamics variants (fig12/13-dynamics).
-        assert len(ALL_EXPERIMENTS) == 22
+        # + 2 AIMD dynamics variants (fig12/13-dynamics)
+        # + the fig08-lifecycle failure/repair timeline.
+        assert len(ALL_EXPERIMENTS) == 23
         assert "fig01" in ALL_EXPERIMENTS
         assert "table1" in ALL_EXPERIMENTS
         assert "fig05-ens" in ALL_EXPERIMENTS

@@ -105,8 +105,17 @@ class TestInvariants:
 
     def test_flow_spec_validation(self):
         with pytest.raises(ValueError):
-            FlowSpec("f", [], demand=1.0)
-        with pytest.raises(ValueError):
             FlowSpec("f", [("a", "b")], demand=0.0)
         with pytest.raises(ValueError):
             FlowSpec("f", [("a", "b")], demand=1.0, subflow_caps=[0.5, 0.5])
+
+    def test_unrouted_flow_gets_zero_rate(self):
+        # Degradation semantics: an empty path list models a demand whose
+        # endpoints are unreachable; it claims nothing and receives 0.0.
+        flows = [
+            FlowSpec("stranded", [], demand=1.0),
+            FlowSpec("routed", [("a", "b")], demand=1.0),
+        ]
+        allocation = max_min_fair_allocation(flows, {("a", "b"): 1.0})
+        assert allocation.flow_rates["stranded"] == 0.0
+        assert allocation.flow_rates["routed"] == pytest.approx(1.0)
