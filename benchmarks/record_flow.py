@@ -39,6 +39,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.timing import best_of, timed_best_of
 from unittest import mock
 
@@ -330,6 +331,12 @@ def main(argv=None) -> int:
         cases.extend(_path_assembly_case(12, repeats=5))
         cases.extend(_search_case(8, repeats=2))
 
+
+    # Every snapshot row carries the recorder's RSS high-water mark at the
+    # time the row set completed (ru_maxrss is process-monotonic, so this is
+    # an upper bound per row, not a per-case footprint).
+    for case in cases:
+        case["peak_rss_kb"] = peak_rss_kb()
     for case in cases:
         print(
             f"{case['kernel']:<28} {case['graph']:<36} "

@@ -27,6 +27,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.timing import best_of
 
 from repro.graphs.csr import batched_hop_distances, clear_csr_cache, csr_graph
@@ -126,6 +127,12 @@ def main(argv=None) -> int:
     cases.extend(_yen_case(100, 10, 6, repeats=50))
     cases.extend(_yen_case(400, 24, 12, repeats=20))
 
+
+    # Every snapshot row carries the recorder's RSS high-water mark at the
+    # time the row set completed (ru_maxrss is process-monotonic, so this is
+    # an upper bound per row, not a per-case footprint).
+    for case in cases:
+        case["peak_rss_kb"] = peak_rss_kb()
     for case in cases:
         print(
             f"{case['kernel']:<28} {case['graph']:<24} "

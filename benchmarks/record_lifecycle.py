@@ -37,6 +37,7 @@ from repro.graphs.csr import clear_csr_cache
 from repro.lifecycle import LifecycleConfig, run_lifecycle
 from repro.routing.paths import clear_shared_path_sets
 from repro.simulation.capacity import clear_capacity_cache
+from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.timing import best_of
 from repro.topologies.jellyfish import JellyfishTopology
 
@@ -160,6 +161,12 @@ def main(argv=None) -> int:
                 f"acceptance row below 5x: {acceptance['speedup']:.2f}x"
             )
 
+
+    # Every snapshot row carries the recorder's RSS high-water mark at the
+    # time the row set completed (ru_maxrss is process-monotonic, so this is
+    # an upper bound per row, not a per-case footprint).
+    for case in cases:
+        case["peak_rss_kb"] = peak_rss_kb()
     for case in cases:
         print(
             f"{case['kernel']:<24} {case['graph']:<44} "

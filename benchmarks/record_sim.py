@@ -36,6 +36,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.timing import best_of, timed_best_of
 
 from repro.graphs.csr import clear_csr_cache
@@ -185,6 +186,12 @@ def main(argv=None) -> int:
         cases.append(_round_loop_case(12, repeats=3, repeats_old=2))
         cases.extend(_end_to_end_case(10, repeats=3, repeats_old=2))
 
+
+    # Every snapshot row carries the recorder's RSS high-water mark at the
+    # time the row set completed (ru_maxrss is process-monotonic, so this is
+    # an upper bound per row, not a per-case footprint).
+    for case in cases:
+        case["peak_rss_kb"] = peak_rss_kb()
     for case in cases:
         print(
             f"{case['kernel']:<24} {case['graph']:<52} "

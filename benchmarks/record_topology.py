@@ -41,6 +41,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.timing import best_of
 
 from repro.graphs._reference import (
@@ -271,6 +272,12 @@ def main(argv=None) -> int:
         cases.append(_expand_case(800, 36, 8, repeats=2, repeats_old=1))
         cases.extend(_ensemble_cases(100, 260, 11, 14, repeats=2))
 
+
+    # Every snapshot row carries the recorder's RSS high-water mark at the
+    # time the row set completed (ru_maxrss is process-monotonic, so this is
+    # an upper bound per row, not a per-case footprint).
+    for case in cases:
+        case["peak_rss_kb"] = peak_rss_kb()
     for case in cases:
         print(
             f"{case['kernel']:<32} {case['graph']:<56} "

@@ -1,0 +1,95 @@
+"""Guards for the hyperscale trajectory snapshot and the BENCH_* schema.
+
+``BENCH_scale.json`` is the acceptance artifact for the hyperscale mode:
+the ``fig05-scale`` / ``fig02a-scale`` workload measured at N in
+{1k, 10k, 50k, 100k} switches with per-size subprocess isolation (see
+``record_scale.py``).  These tests pin the committed snapshot so a
+regression in the streaming BFS kernel, the stub-matching constructor, or
+the sampled estimators cannot land silently:
+
+* all four sizes are present with positive wall-clock and peak RSS;
+* the 100k row stays within generous wall-clock / RSS ceilings (one
+  machine, minutes not hours, single-digit GB);
+* the recorded estimates look like Jellyfish (mean path length grows
+  ~log N and stays under the paper's ~4-hop envelope);
+* every committed ``BENCH_*.json`` row carries ``peak_rss_kb`` next to its
+  wall-clock figure (the record_* satellite contract).
+
+The pytest-benchmark row times the 1k-switch workload end-to-end, sized to
+stay inside the tier-1 budget while still exercising the sampled path.
+"""
+
+import json
+from pathlib import Path
+
+from repro.graphs.sampling import sampled_path_length_stats
+from repro.topologies.ensemble import single_rrg_core
+
+BENCH_DIR = Path(__file__).resolve().parent
+SNAPSHOT = BENCH_DIR / "BENCH_scale.json"
+
+EXPECTED_SIZES = [1000, 10000, 50000, 100000]
+
+#: Ceilings for the 100k acceptance row.  Deliberately loose (the recorded
+#: run is ~14 s / ~1.2 GB) so slow CI machines pass, while a kernel that
+#: quietly rematerializes the full all-pairs matrix (~75 GB at 100k) or
+#: regresses an order of magnitude still trips them.
+MAX_100K_SECONDS = 900.0
+MAX_100K_RSS_KB = 8 * 1024 * 1024
+
+
+def test_scale_snapshot_covers_all_sizes():
+    snapshot = json.loads(SNAPSHOT.read_text())
+    assert snapshot["schema"] == 1
+    rows = {case["num_nodes"]: case for case in snapshot["cases"]}
+    assert sorted(rows) == EXPECTED_SIZES
+    for case in rows.values():
+        assert case["seconds"] > 0
+        assert case["peak_rss_kb"] > 0
+        assert case["build_seconds"] > 0
+        assert case["path_seconds"] > 0
+        assert case["bisection_seconds"] > 0
+
+
+def test_scale_snapshot_100k_within_ceilings():
+    snapshot = json.loads(SNAPSHOT.read_text())
+    rows = {case["num_nodes"]: case for case in snapshot["cases"]}
+    acceptance = rows[100000]
+    assert acceptance["seconds"] < MAX_100K_SECONDS
+    assert acceptance["peak_rss_kb"] < MAX_100K_RSS_KB
+
+
+def test_scale_snapshot_metrics_look_like_jellyfish():
+    snapshot = json.loads(SNAPSHOT.read_text())
+    rows = {case["num_nodes"]: case for case in snapshot["cases"]}
+    means = [rows[n]["mean_path_length"] for n in EXPECTED_SIZES]
+    # Mean path length grows with N (log-like) but stays in the paper's
+    # short-path envelope even at 100k switches.
+    assert means == sorted(means)
+    assert 2.0 < means[0] < 3.0
+    assert means[-1] < 4.5
+    for n in EXPECTED_SIZES:
+        assert rows[n]["path_ci_halfwidth"] < 0.05
+        assert 3 <= rows[n]["diameter_lower_bound"] <= 6
+        # Random balanced cuts concentrate hard around the expected cut.
+        assert abs(rows[n]["mean_cut"] - rows[n]["expected_cut"]) < (
+            0.05 * rows[n]["expected_cut"]
+        )
+
+
+def test_every_bench_snapshot_row_has_peak_rss():
+    for path in sorted(BENCH_DIR.glob("BENCH_*.json")):
+        snapshot = json.loads(path.read_text())
+        for case in snapshot["cases"]:
+            assert "peak_rss_kb" in case, f"{path.name}: {case['kernel']}"
+            assert case["peak_rss_kb"] > 0, f"{path.name}: {case['kernel']}"
+
+
+def test_bench_scale_workload_1k(benchmark):
+    def workload():
+        core = single_rrg_core(1000, 48, 36, seed=5)
+        return sampled_path_length_stats(core.csr(), num_sources=64, seed=5)
+
+    stats = benchmark(workload)
+    assert not stats.exact
+    assert stats.ci_low <= stats.mean <= stats.ci_high

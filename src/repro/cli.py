@@ -69,9 +69,11 @@ def _add_reproducibility_options(parser: argparse.ArgumentParser) -> None:
     """The global knobs every subcommand shares: problem size and seed."""
     parser.add_argument(
         "--scale",
-        choices=["small", "paper"],
+        choices=["small", "paper", "hyperscale"],
         default="small",
-        help="problem sizes: 'small' is fast, 'paper' is closer to the paper's sizes",
+        help="problem sizes: 'small' is fast, 'paper' is closer to the paper's "
+        "sizes, 'hyperscale' (the *-scale sweeps only) runs 10k-100k switches "
+        "with sampled estimators",
     )
     parser.add_argument(
         "--seed",
@@ -218,8 +220,8 @@ def _sweep_show(args: argparse.Namespace) -> int:
         try:
             sweep = get_sweep(sweep_id)
             specs = sweep_specs(sweep_id, scale=args.scale, seed=args.seed)
-        except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
+        except (KeyError, ValueError) as error:
+            print(f"error: {sweep_id}: {error}", file=sys.stderr)
             exit_code = 2
             continue
         print(f"{sweep_id}: {sweep.description}")
@@ -410,8 +412,10 @@ def _sweep_run(args: argparse.Namespace) -> int:
             try:
                 sweep = get_sweep(sweep_id)
                 specs = sweep.build(scale, seed)
-            except KeyError as error:
-                print(f"error: {error}", file=sys.stderr)
+            except (KeyError, ValueError) as error:
+                # ValueError: a scale the sweep does not define (e.g.
+                # 'hyperscale' is only meaningful for the *-scale sweeps).
+                print(f"error: {sweep_id}: {error}", file=sys.stderr)
                 exit_code = 2
                 continue
             timeout_s = args.timeout if args.timeout is not None else sweep.timeout_s
@@ -1149,8 +1153,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for experiment_id in args.experiments:
         try:
             result = run_experiment(experiment_id, scale=args.scale, seed=args.seed)
-        except KeyError as error:
-            print(f"error: {error}", file=sys.stderr)
+        except (KeyError, ValueError) as error:
+            print(f"error: {experiment_id}: {error}", file=sys.stderr)
             exit_code = 2
             continue
         print(format_table(result))

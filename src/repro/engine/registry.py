@@ -32,9 +32,11 @@ ENGINE_NATIVE = {
     "fig01": "repro.experiments.fig01_path_length",
     "fig02a": "repro.experiments.fig02a_bisection",
     "fig02a-ens": "repro.experiments.fig02a_ensemble",
+    "fig02a-scale": "repro.experiments.fig02a_scale",
     "fig02b": "repro.experiments.fig02b_equipment_cost",
     "fig05": "repro.experiments.fig05_path_length_scaling",
     "fig05-ens": "repro.experiments.fig05_ensemble",
+    "fig05-scale": "repro.experiments.fig05_scale",
     "fig08-ens": "repro.experiments.fig08_ensemble",
     "fig08-lifecycle": "repro.experiments.fig08_lifecycle",
     "fig12-dynamics": "repro.experiments.fig12_dynamics",
@@ -51,6 +53,14 @@ Assembler = Callable[[List[Any], str, int], ExperimentResult]
 #: ``repro sweep run --timeout`` overrides both.
 LEGACY_POINT_TIMEOUT_S = 3600.0
 NATIVE_POINT_TIMEOUT_S = 900.0
+
+#: Native sweeps whose single points are legitimately long: the hyperscale
+#: ``*-scale`` grids build and sample 100k-switch RRGs per point, so they
+#: get the legacy-sized ceiling rather than the native default.
+NATIVE_TIMEOUT_OVERRIDES: Dict[str, float] = {
+    "fig05-scale": 3600.0,
+    "fig02a-scale": 3600.0,
+}
 
 
 @dataclass(frozen=True)
@@ -189,7 +199,7 @@ def _native_sweep(experiment_id: str, module_path: str) -> SweepDef:
         description=f"engine-native grid defined in {module_path}",
         build=build,
         assemble=assemble,
-        timeout_s=NATIVE_POINT_TIMEOUT_S,
+        timeout_s=NATIVE_TIMEOUT_OVERRIDES.get(experiment_id, NATIVE_POINT_TIMEOUT_S),
     )
 
 

@@ -68,12 +68,14 @@ EXPERIMENTS: Dict[str, str] = {
     "fig01": "repro.experiments.fig01_path_length",
     "fig02a": "repro.experiments.fig02a_bisection",
     "fig02a-ens": "repro.experiments.fig02a_ensemble",
+    "fig02a-scale": "repro.experiments.fig02a_scale",
     "fig02b": "repro.experiments.fig02b_equipment_cost",
     "fig02c": "repro.experiments.fig02c_servers_full_throughput",
     "fig03": "repro.experiments.fig03_degree_diameter",
     "fig04": "repro.experiments.fig04_swdc",
     "fig05": "repro.experiments.fig05_path_length_scaling",
     "fig05-ens": "repro.experiments.fig05_ensemble",
+    "fig05-scale": "repro.experiments.fig05_scale",
     "fig06": "repro.experiments.fig06_incremental",
     "fig07": "repro.experiments.fig07_legup",
     "fig08": "repro.experiments.fig08_failures",

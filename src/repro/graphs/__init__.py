@@ -5,7 +5,14 @@ from repro.graphs.bisection import (
     estimate_bisection_bandwidth,
     exact_bisection_bandwidth,
 )
-from repro.graphs.csr import CSRGraph, batched_hop_distances, csr_graph
+from repro.graphs.csr import (
+    CSRGraph,
+    batched_hop_distances,
+    bfs_source_chunk,
+    csr_graph,
+    distance_memo_stats,
+    index_dtype,
+)
 from repro.graphs.properties import (
     average_path_length,
     degree_histogram,
@@ -17,11 +24,21 @@ from repro.graphs.regular import (
     random_regular_graph,
     sequential_random_regular_graph,
 )
+from repro.graphs.sampling import (
+    SampledCutStats,
+    SampledPathStats,
+    sampled_bisection_stats,
+    sampled_path_length_stats,
+    throughput_upper_bound,
+)
 
 __all__ = [
     "CSRGraph",
     "batched_hop_distances",
+    "bfs_source_chunk",
     "csr_graph",
+    "distance_memo_stats",
+    "index_dtype",
     "bollobas_bisection_lower_bound",
     "estimate_bisection_bandwidth",
     "exact_bisection_bandwidth",
@@ -32,4 +49,9 @@ __all__ = [
     "path_length_distribution",
     "random_regular_graph",
     "sequential_random_regular_graph",
+    "SampledCutStats",
+    "SampledPathStats",
+    "sampled_bisection_stats",
+    "sampled_path_length_stats",
+    "throughput_upper_bound",
 ]

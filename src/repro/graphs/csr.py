@@ -29,9 +29,11 @@ from __future__ import annotations
 
 import hashlib
 import heapq
+import os
 import sys
 import weakref
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -40,10 +42,69 @@ from repro.telemetry import count, trace
 
 IndexPath = Tuple[int, ...]
 
-#: Sources are processed in chunks of this many bit-planes to bound the
-#: memory of the (edges x words) gather; 4096 sources over a 3200-switch
-#: fig05-scale graph stays under ~60 MB of transient arrays.
+#: Hard cap on the number of bit-planes per BFS chunk.  The effective chunk
+#: is the smaller of this and what the scratch budget allows
+#: (:func:`bfs_source_chunk`); 4096 sources over a 3200-switch fig05 graph
+#: stays under ~60 MB of transient arrays, while a 100k-switch hyperscale
+#: graph drops to a few hundred sources per chunk under the default budget.
 _BFS_SOURCE_CHUNK = 4096
+
+#: Default scratch budget for one BFS chunk's transient arrays (the
+#: ``(edges+1) x words`` gather plus frontier/visited bit-planes and the
+#: chunk's distance rows).  Override per call via ``scratch_bytes`` or
+#: globally with ``REPRO_BFS_SCRATCH_MB``.
+DEFAULT_BFS_SCRATCH_BYTES = 256 * 1024 * 1024
+
+
+def _env_mb(name: str, default_bytes: int) -> int:
+    """Resolve an ``<NAME>``-in-megabytes env override to bytes."""
+    raw = os.environ.get(name)
+    if not raw:
+        return default_bytes
+    try:
+        return max(1, int(float(raw) * 1024 * 1024))
+    except ValueError:
+        return default_bytes
+
+
+def default_bfs_scratch_bytes() -> int:
+    """The active BFS scratch budget (env-overridable, read per call)."""
+    return _env_mb("REPRO_BFS_SCRATCH_MB", DEFAULT_BFS_SCRATCH_BYTES)
+
+
+def bfs_source_chunk(
+    num_nodes: int, num_directed_edges: int, scratch_bytes: Optional[int] = None
+) -> int:
+    """Sources per BFS chunk so transient arrays fit the scratch budget.
+
+    One 64-source bit-plane word costs ``8 * (E + 1)`` bytes of gather
+    table, ``2 * 8 * N`` bytes of frontier/visited planes, and ``64 * 4 * N``
+    bytes of output distance rows.  The chunk is the largest multiple of 64
+    whose total stays within the budget, floored at 64 sources (one word is
+    the minimum the bit-parallel kernel can run with) and capped at the
+    historical ``4096``.
+    """
+    budget = scratch_bytes if scratch_bytes is not None else default_bfs_scratch_bytes()
+    per_word = 8 * (num_directed_edges + 1) + 16 * max(num_nodes, 1) + 256 * max(num_nodes, 1)
+    words = max(1, int(budget) // per_word)
+    return int(min(_BFS_SOURCE_CHUNK, words * 64))
+
+
+#: Largest index representable without promoting CSR arrays to ``int64``.
+_INT32_LIMIT = np.iinfo(np.int32).max
+
+
+def index_dtype(num_nodes: int, num_directed_edges: int) -> np.dtype:
+    """The narrowest index dtype safe for a CSR of this size.
+
+    ``indptr`` stores directed-edge offsets (up to ``num_directed_edges``)
+    and ``indices`` stores node ids (up to ``num_nodes - 1``); both arrays
+    share one dtype so kernels never mix widths.  Beyond ``int32`` range the
+    arrays promote to ``int64`` instead of silently wrapping.
+    """
+    if max(num_nodes, num_directed_edges) > _INT32_LIMIT:
+        return np.dtype(np.int64)
+    return np.dtype(np.int32)
 
 #: Size guards for the per-graph memos, mirroring the intent of
 #: ``ALL_PAIRS_MEMO_NODE_LIMIT`` in :mod:`repro.graphs.properties`: an
@@ -62,6 +123,91 @@ _MINUS_ONE_SURROGATE = 0x2545F4914F6CDD1D
 #: fig05 builds 3200-switch graphs).  Re-exported by
 #: :mod:`repro.graphs.properties` as ``ALL_PAIRS_MEMO_NODE_LIMIT``.
 DIST_ROW_MEMO_NODE_LIMIT = 1500
+
+#: Byte budget for the global distance-row memo (env ``REPRO_DIST_MEMO_MB``).
+DEFAULT_DIST_MEMO_BYTES = 64 * 1024 * 1024
+
+
+class _DistanceRowMemo:
+    """Content-hash-keyed LRU of memoized BFS distance rows.
+
+    Keys are ``(csr.content_hash, source_index)``, so structurally equal
+    graphs — and successive CSR views of the same mutating graph — share
+    rows, while any structural change produces fresh keys and the stale
+    entries age out.  The memo is bounded by a byte budget: storing past it
+    evicts least-recently-used rows (surfaced via
+    :func:`distance_memo_stats` and the ``memo.dist_row_evictions``
+    telemetry counter), so a week-long sweep over thousands of topologies
+    can no longer grow the memo without limit.
+    """
+
+    __slots__ = ("entries", "bytes", "budget_bytes", "hits", "misses", "evictions")
+
+    def __init__(self, budget_bytes: int) -> None:
+        self.entries: "OrderedDict[Tuple[str, int], np.ndarray]" = OrderedDict()
+        self.bytes = 0
+        self.budget_bytes = budget_bytes
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def get(self, key: Tuple[str, int]) -> Optional[np.ndarray]:
+        row = self.entries.get(key)
+        if row is None:
+            self.misses += 1
+            return None
+        self.entries.move_to_end(key)
+        self.hits += 1
+        return row
+
+    def store(self, key: Tuple[str, int], row: np.ndarray) -> None:
+        if row.nbytes > self.budget_bytes or key in self.entries:
+            return
+        self.entries[key] = row
+        self.bytes += row.nbytes
+        evicted = 0
+        while self.bytes > self.budget_bytes:
+            _, dropped = self.entries.popitem(last=False)
+            self.bytes -= dropped.nbytes
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            count("memo.dist_row_evictions", evicted)
+
+    def clear(self) -> None:
+        self.entries.clear()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "rows": len(self.entries),
+            "bytes": self.bytes,
+            "budget_bytes": self.budget_bytes,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
+_DIST_ROW_MEMO = _DistanceRowMemo(_env_mb("REPRO_DIST_MEMO_MB", DEFAULT_DIST_MEMO_BYTES))
+
+
+def dist_row_memo_get(content_hash: str, source: int) -> Optional[np.ndarray]:
+    """Look up a memoized distance row by graph content hash and source."""
+    return _DIST_ROW_MEMO.get((content_hash, source))
+
+
+def dist_row_memo_store(content_hash: str, source: int, row: np.ndarray) -> None:
+    """Store a distance row in the bounded global memo (LRU-evicting)."""
+    _DIST_ROW_MEMO.store((content_hash, source), row)
+
+
+def distance_memo_stats() -> Dict[str, int]:
+    """Occupancy and hit/miss/eviction counters of the distance-row memo."""
+    return _DIST_ROW_MEMO.stats()
 
 
 def _graph_fingerprint(graph: nx.Graph) -> Tuple[int, int, int, int]:
@@ -134,7 +280,6 @@ class CSRGraph:
         "fingerprint",
         "_adj_lists",
         "_edge_src",
-        "_dist_rows",
         "_parent_trees",
         "result_cache",
         "_seen",
@@ -150,7 +295,8 @@ class CSRGraph:
             nodes = list(graph.nodes)
         index_of: Dict[Hashable, int] = {node: i for i, node in enumerate(nodes)}
         n = len(nodes)
-        indptr = np.zeros(n + 1, dtype=np.int32)
+        dtype = index_dtype(n, 2 * graph.number_of_edges())
+        indptr = np.zeros(n + 1, dtype=dtype)
         flat: List[int] = []
         adjacency = graph.adj
         for i, node in enumerate(nodes):
@@ -158,7 +304,7 @@ class CSRGraph:
             flat.extend(row)
             indptr[i + 1] = indptr[i] + len(row)
         self.indptr = indptr
-        self.indices = np.asarray(flat, dtype=np.int32)
+        self.indices = np.asarray(flat, dtype=dtype)
         self.nodes = nodes
         self.index_of = index_of
         self.num_nodes = n
@@ -172,7 +318,6 @@ class CSRGraph:
     def _init_caches(self) -> None:
         self._adj_lists: Optional[List[List[int]]] = None
         self._edge_src: Optional[np.ndarray] = None
-        self._dist_rows: Dict[int, np.ndarray] = {}
         self._parent_trees: Dict[int, List[int]] = {}
         # Routing modules memoize query results here via store_result (e.g.
         # ("ksp", s, t, k)).  The cache lives and dies with this CSR view,
@@ -204,14 +349,34 @@ class CSRGraph:
         ``None`` for views that are never registered in the per-graph cache;
         :func:`adopt_csr_view` fills it in when a materialized graph adopts
         the view.
+
+        The arrays are validated against silent ``int32`` overflow: both are
+        promoted to the dtype :func:`index_dtype` selects for the edge
+        count, and an ``indptr`` whose final offset disagrees with
+        ``len(indices)`` — the signature of a wrapped 32-bit cumulative sum
+        in the builder — raises ``ValueError`` instead of producing a view
+        that would index garbage.
         """
         view = cls.__new__(cls)
-        view.indptr = np.asarray(indptr, dtype=np.int32)
-        view.indices = np.asarray(indices, dtype=np.int32)
+        indices = np.asarray(indices)
+        dtype = index_dtype(len(nodes), len(indices))
+        view.indptr = np.asarray(indptr, dtype=dtype)
+        view.indices = np.asarray(indices, dtype=dtype)
         view.nodes = nodes
         view.index_of = index_of
         view.num_nodes = len(nodes)
         view.num_edges = len(view.indices) // 2
+        if view.indptr.shape != (view.num_nodes + 1,):
+            raise ValueError(
+                f"indptr length {view.indptr.shape[0]} does not match "
+                f"{view.num_nodes} nodes"
+            )
+        if view.num_nodes and int(view.indptr[-1]) != len(view.indices):
+            raise ValueError(
+                f"indptr[-1] = {int(view.indptr[-1])} does not match "
+                f"{len(view.indices)} adjacency entries (int32 overflow in "
+                "the builder?)"
+            )
         view.fingerprint = fingerprint
         view._content_hash = None
         view._init_caches()
@@ -253,27 +418,64 @@ class CSRGraph:
             )
         return self._edge_src
 
-    def hop_distance_matrix(self, source_indices: Optional[Sequence[int]] = None) -> np.ndarray:
+    def hop_distance_matrix(
+        self,
+        source_indices: Optional[Sequence[int]] = None,
+        scratch_bytes: Optional[int] = None,
+    ) -> np.ndarray:
         """Hop distances from each source index to every node.
 
         Returns an ``int32`` array of shape ``(len(sources), num_nodes)``
         with ``-1`` for unreachable nodes; column ``i`` is ``self.nodes[i]``.
+        Sources are processed in chunks sized by :func:`bfs_source_chunk`
+        so the transient gather table respects ``scratch_bytes`` (default:
+        the global budget); the chunking is invisible in the output.  For
+        memory-bounded streaming over huge graphs — where even the output
+        matrix would not fit — use :meth:`iter_hop_distance_blocks`.
         """
         if source_indices is None:
             source_indices = range(self.num_nodes)
-        sources = np.asarray(list(source_indices), dtype=np.int32)
+        sources = np.asarray(list(source_indices), dtype=np.int64)
         dist = np.full((len(sources), self.num_nodes), -1, dtype=np.int32)
+        chunk_size = bfs_source_chunk(self.num_nodes, len(self.indices), scratch_bytes)
         with trace(
             "bfs.batch", sources=len(sources), nodes=self.num_nodes
         ) as span:
             sweeps = 0
-            for start in range(0, len(sources), _BFS_SOURCE_CHUNK):
-                chunk = sources[start : start + _BFS_SOURCE_CHUNK]
-                sweeps += self._bfs_chunk(
-                    chunk, dist[start : start + _BFS_SOURCE_CHUNK]
-                )
-            span.add(frontier_sweeps=sweeps)
+            for start in range(0, len(sources), chunk_size):
+                chunk = sources[start : start + chunk_size]
+                sweeps += self._bfs_chunk(chunk, dist[start : start + chunk_size])
+            span.add(frontier_sweeps=sweeps, chunk_sources=chunk_size)
         return dist
+
+    def iter_hop_distance_blocks(
+        self,
+        source_indices: Optional[Sequence[int]] = None,
+        scratch_bytes: Optional[int] = None,
+    ) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+        """Stream BFS results as ``(chunk_sources, dist_block)`` pairs.
+
+        The memory-bounded entry point behind the sampled estimators
+        (:mod:`repro.graphs.sampling`): each yielded block holds the
+        distance rows of one source chunk only, so peak memory is set by
+        the scratch budget instead of ``len(sources) * num_nodes``.  Blocks
+        arrive in source order; ``dist_block[i]`` is the full distance row
+        of ``chunk_sources[i]``.  The caller must finish with a block
+        before advancing — rows are not retained.
+        """
+        if source_indices is None:
+            sources = np.arange(self.num_nodes, dtype=np.int64)
+        else:
+            sources = np.asarray(list(source_indices), dtype=np.int64)
+        chunk_size = bfs_source_chunk(self.num_nodes, len(self.indices), scratch_bytes)
+        for start in range(0, len(sources), chunk_size):
+            chunk = sources[start : start + chunk_size]
+            dist = np.full((len(chunk), self.num_nodes), -1, dtype=np.int32)
+            with trace(
+                "bfs.block", sources=len(chunk), nodes=self.num_nodes
+            ) as span:
+                span.add(frontier_sweeps=self._bfs_chunk(chunk, dist))
+            yield chunk, dist
 
     def _bfs_chunk(self, sources: np.ndarray, dist: np.ndarray) -> int:
         """Bit-parallel frontier BFS for one chunk of sources (writes ``dist``).
@@ -347,18 +549,22 @@ class CSRGraph:
         return self._seen, self._parent, self._stamp
 
     def distance_row(self, source: int) -> np.ndarray:
-        """Hop distances from one source index, memoized via ``_dist_rows``.
+        """Hop distances from one source index, memoized globally.
 
-        Shares the same per-source row cache the metric helpers in
+        Shares the content-hash-keyed LRU memo the metric helpers in
         :mod:`repro.graphs.properties` populate, so e.g. repeated ECMP
-        enumerations from one source reuse a single BFS sweep.  Rows are
-        only retained for graphs within ``DIST_ROW_MEMO_NODE_LIMIT`` nodes.
+        enumerations from one source reuse a single BFS sweep — including
+        across structurally identical CSR views.  Rows are only retained
+        for graphs within ``DIST_ROW_MEMO_NODE_LIMIT`` nodes, and the memo
+        itself is byte-bounded with LRU eviction.
         """
-        row = self._dist_rows.get(source)
+        if self.num_nodes > DIST_ROW_MEMO_NODE_LIMIT:
+            return self.hop_distance_matrix([source])[0]
+        key = (self.content_hash, source)
+        row = _DIST_ROW_MEMO.get(key)
         if row is None:
             row = self.hop_distance_matrix([source])[0]
-            if self.num_nodes <= DIST_ROW_MEMO_NODE_LIMIT:
-                self._dist_rows[source] = row
+            _DIST_ROW_MEMO.store(key, row)
         return row
 
     def bfs_parent_tree(self, source: int) -> List[int]:
@@ -599,8 +805,9 @@ def adopt_csr_view(graph: nx.Graph, view: CSRGraph) -> None:
 
 
 def clear_csr_cache() -> None:
-    """Drop every cached CSR view and its memoized distance rows."""
+    """Drop every cached CSR view and the global distance-row memo."""
     _csr_cache.clear()
+    _DIST_ROW_MEMO.clear()
 
 
 def batched_hop_distances(

@@ -28,6 +28,8 @@ from repro.graphs.csr import (
     DIST_ROW_MEMO_NODE_LIMIT,
     clear_csr_cache,
     csr_graph,
+    dist_row_memo_get,
+    dist_row_memo_store,
 )
 
 
@@ -101,13 +103,29 @@ def _distance_rows(
 def _rows_for_indices(
     csr: CSRGraph, wanted: List[int], memo_limit: int = ALL_PAIRS_MEMO_NODE_LIMIT
 ) -> List[np.ndarray]:
+    """Distance rows for ``wanted``, via the bounded content-hash LRU memo.
+
+    Rows live in the global memo in :mod:`repro.graphs.csr` — keyed by the
+    CSR ``content_hash``, byte-bounded, LRU-evicting — rather than on the
+    view, so structurally equal graphs share sweeps and a long sweep over
+    many topologies cannot grow the memo without limit.  Graphs beyond
+    ``memo_limit`` nodes bypass the memo entirely (recomputed per call).
+    """
     if csr.num_nodes <= memo_limit:
-        rows = csr._dist_rows
-        missing = [index for index in wanted if index not in rows]
+        content = csr.content_hash
+        rows: Dict[int, np.ndarray] = {}
+        missing = []
+        for index in wanted:
+            row = dist_row_memo_get(content, index)
+            if row is None:
+                missing.append(index)
+            else:
+                rows[index] = row
         if missing:
             matrix = _bfs_matrix(csr, missing)
-            for row, index in enumerate(missing):
-                rows[index] = matrix[row]
+            for position, index in enumerate(missing):
+                rows[index] = matrix[position]
+                dist_row_memo_store(content, index, matrix[position])
         return [rows[index] for index in wanted]
     return list(_bfs_matrix(csr, wanted))
 

@@ -10,6 +10,9 @@ logs (:mod:`repro.telemetry.tracer`) and renders:
   when any are nonzero, so healthy runs stay clean);
 * a **phase table** -- per span name: calls, cumulative and self time,
   sorted by cumulative self time (the "slowest phases" view);
+* a **domain counters table** -- every ``count()`` counter summed across
+  the event log (cache hits, memo evictions, sampled pairs, ...), only
+  rendered when any counters were recorded;
 * a **coverage line** -- how much of the executed wall time the root spans
   account for (instrumentation that loses time shows up here first);
 * an optional **text flame view** (``--flame``) of one point's span tree:
@@ -172,6 +175,36 @@ def phase_rows(events: Sequence[dict], limit: int = 0) -> List[dict]:
     return rows[:limit] if limit else rows
 
 
+def counter_rows(events: Sequence[dict]) -> List[dict]:
+    """Aggregate domain counters across all spans, sorted by name.
+
+    Spans accumulate counters via :func:`repro.telemetry.count` (cache
+    hits, memo evictions, sampled pairs, ...); this sums each counter over
+    the whole event log so ``repro stats`` surfaces e.g. how many distance
+    rows or path tables a sweep evicted without reading flame views.
+    """
+    totals: Dict[str, float] = defaultdict(float)
+    calls: Dict[str, int] = defaultdict(int)
+    for event in events:
+        for key, value in (event.get("counters") or {}).items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                totals[key] += value
+                calls[key] += 1
+    return [
+        {"counter": name, "total": totals[name], "spans": calls[name]}
+        for name in sorted(totals)
+    ]
+
+
+def render_counter_table(rows: List[dict]) -> str:
+    lines = [f"{'counter':<28} {'total':>14} {'spans':>8}"]
+    for row in rows:
+        total = row["total"]
+        rendered = f"{total:.4g}" if total != int(total) else f"{int(total)}"
+        lines.append(f"{row['counter']:<28} {rendered:>14} {row['spans']:>8}")
+    return "\n".join(lines)
+
+
 def span_coverage(
     records: Sequence[RunRecord], events: Sequence[dict]
 ) -> Optional[Tuple[float, float, float]]:
@@ -327,6 +360,11 @@ def render_stats(
                 phase_rows(events, limit=limit)
             )
         )
+        counters = counter_rows(events)
+        if counters:
+            sections.append(
+                "domain counters:\n" + render_counter_table(counters)
+            )
         coverage = span_coverage(records, events)
         if coverage is not None:
             root_s, executed_s, fraction = coverage

@@ -37,7 +37,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 import networkx as nx
 import numpy as np
 
-from repro.graphs.csr import CSRGraph, adopt_csr_view
+from repro.graphs.csr import CSRGraph, adopt_csr_view, index_dtype
 from repro.graphs.regular import graph_from_rows
 
 
@@ -234,12 +234,15 @@ class TopologyCore:
             nodes = list(self.labels)
             is_sorted = True
         n = self.num_nodes
-        indptr = np.zeros(n + 1, dtype=np.int32)
+        # Promote to int64 before the cumulative sum when the directed edge
+        # count could overflow int32 offsets (see repro.graphs.csr.index_dtype).
+        dtype = index_dtype(n, int(self.degrees().sum(dtype=np.int64)))
+        indptr = np.zeros(n + 1, dtype=dtype)
         np.cumsum(self.degrees(), out=indptr[1:])
         if is_sorted:
             total = int(indptr[-1])
             indices = np.fromiter(
-                chain.from_iterable(self.rows), dtype=np.int32, count=total
+                chain.from_iterable(self.rows), dtype=dtype, count=total
             )
             return CSRGraph.from_arrays(nodes, dict(self.index_of), indptr, indices)
         # Labels are orderable but not in sorted order: remap rows into the
@@ -250,12 +253,12 @@ class TopologyCore:
         for original, csr_index in enumerate(perm):
             inverse[csr_index] = original
         flat: List[int] = []
-        indptr = np.zeros(n + 1, dtype=np.int32)
+        indptr = np.zeros(n + 1, dtype=dtype)
         for csr_index in range(n):
             row = self.rows[inverse[csr_index]]
             flat.extend(perm[j] for j in row)
             indptr[csr_index + 1] = indptr[csr_index] + len(row)
-        indices = np.asarray(flat, dtype=np.int32)
+        indices = np.asarray(flat, dtype=dtype)
         return CSRGraph.from_arrays(nodes, index_of, indptr, indices)
 
     def to_networkx(self) -> nx.Graph:

@@ -133,6 +133,37 @@ def _build_core_inner(
     return TopologyCore(range(spec.num_switches), rows, ports, servers)
 
 
+def single_rrg_core(
+    num_switches: int,
+    ports_per_switch: int,
+    network_degree: int,
+    seed: RngLike = None,
+    method: str = "stubs",
+    servers_per_switch: Optional[int] = None,
+) -> TopologyCore:
+    """One seeded ``RRG(N, k, r)`` core, built array-natively.
+
+    The single-instance entry point the hyperscale experiments use:
+    defaults to the vectorized stub-matching constructor (the only one that
+    is practical at 10k-100k switches) and never materializes a
+    ``networkx`` graph.  Degree handling (odd ``N * r``) matches
+    :class:`EnsembleSpec`.
+    """
+    spec = EnsembleSpec(
+        num_instances=1,
+        num_switches=num_switches,
+        ports_per_switch=ports_per_switch,
+        network_degree=network_degree,
+        servers_per_switch=servers_per_switch,
+        method=method,
+        seed=0,
+    )
+    ports = [ports_per_switch] * num_switches
+    servers = [spec.resolved_servers_per_switch] * num_switches
+    rng = ensure_rng(seed)
+    return _build_core(spec, rng, {}, ports, servers)
+
+
 def generate_cores(spec: EnsembleSpec) -> Iterator[Tuple[int, TopologyCore]]:
     """Yield ``(instance_seed, core)`` pairs for every instance in the batch.
 

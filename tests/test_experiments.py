@@ -16,8 +16,9 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         # 17 paper figures/tables + 3 ensemble variants (fig02a/05/08-ens)
         # + 2 AIMD dynamics variants (fig12/13-dynamics)
-        # + the fig08-lifecycle failure/repair timeline.
-        assert len(ALL_EXPERIMENTS) == 23
+        # + the fig08-lifecycle failure/repair timeline
+        # + 2 hyperscale sampled sweeps (fig02a/05-scale).
+        assert len(ALL_EXPERIMENTS) == 25
         assert "fig01" in ALL_EXPERIMENTS
         assert "table1" in ALL_EXPERIMENTS
         assert "fig05-ens" in ALL_EXPERIMENTS
@@ -25,6 +26,8 @@ class TestRegistry:
         assert "fig02a-ens" in ALL_EXPERIMENTS
         assert "fig12-dynamics" in ALL_EXPERIMENTS
         assert "fig13-dynamics" in ALL_EXPERIMENTS
+        assert "fig05-scale" in ALL_EXPERIMENTS
+        assert "fig02a-scale" in ALL_EXPERIMENTS
 
     def test_unknown_experiment(self):
         with pytest.raises(KeyError):
