@@ -149,6 +149,24 @@ def build_sweep_parser() -> argparse.ArgumentParser:
         "execution even with --workers 0",
     )
     run_parser.add_argument(
+        "--memory-mb",
+        type=float,
+        default=None,
+        metavar="MB",
+        help="per-point memory budget: each worker caps its address space "
+        "(RLIMIT_AS soft limit) so an overrun raises MemoryError instead "
+        "of drawing the kernel OOM killer. Overrides $REPRO_MEMORY_MB and "
+        "the sweep's registry default (0 disables). Budgets force "
+        "supervised execution even with --workers 0",
+    )
+    run_parser.add_argument(
+        "--no-degrade",
+        action="store_true",
+        help="disable the degradation ladder: resource-exhausted points "
+        "(oom/signal/timeout) retry identically and quarantine instead of "
+        "re-running one fidelity rung down",
+    )
+    run_parser.add_argument(
         "--max-attempts",
         type=int,
         default=3,
@@ -297,6 +315,7 @@ def _sweep_run(args: argparse.Namespace) -> int:
         expand,
         get_sweep,
     )
+    from repro.resources import default_memory_mb
     from repro.telemetry import RunRecorder, enable, enable_in_subprocesses, get_logger
     from repro.telemetry.manifest import (
         journal_path,
@@ -401,6 +420,8 @@ def _sweep_run(args: argparse.Namespace) -> int:
                     source = f"cache {outcome.duration_s * 1e3:.1f}ms"
                 else:
                     source = f"{outcome.duration_s:.2f}s"
+                if getattr(outcome, "degradation_level", 0):
+                    source += f" (degraded, rung {outcome.degradation_level})"
                 sweep_log.info(
                     "[%d/%d] %s %s",
                     done,
@@ -421,6 +442,13 @@ def _sweep_run(args: argparse.Namespace) -> int:
             timeout_s = args.timeout if args.timeout is not None else sweep.timeout_s
             if timeout_s is not None and timeout_s <= 0:
                 timeout_s = None
+            memory_mb = args.memory_mb
+            if memory_mb is None:
+                memory_mb = default_memory_mb()
+            if memory_mb is None:
+                memory_mb = sweep.memory_mb
+            if memory_mb is not None and memory_mb <= 0:
+                memory_mb = None
             recorder = RunRecorder(
                 sweep_id,
                 scale=scale,
@@ -440,6 +468,8 @@ def _sweep_run(args: argparse.Namespace) -> int:
                 cache=cache,
                 progress=observe,
                 timeout_s=timeout_s,
+                memory_mb=memory_mb,
+                degrade=not args.no_degrade,
                 max_attempts=args.max_attempts,
                 completed=completed,
                 raise_on_failure=False,

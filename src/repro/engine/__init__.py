@@ -7,8 +7,10 @@ The engine is the shared execution layer behind the paper's evaluation grid
   declaratively and expands it into content-hashed :class:`ScenarioPoint`\\ s.
 - :mod:`repro.engine.runner` -- :class:`SweepRunner` shards points across
   supervised worker processes with per-point seeding, wall-clock timeouts,
-  bounded retry with deterministic backoff, quarantine of poison points,
-  progress reporting and deterministic result ordering.
+  per-point memory budgets with ``oom``/``signal`` fault classification and
+  an escalating degradation ladder (see :mod:`repro.resources`), bounded
+  retry with deterministic backoff, quarantine of poison points, progress
+  reporting and deterministic result ordering.
 - :mod:`repro.engine.cache` -- :class:`ResultCache` stores each scenario's
   value on disk under its content hash, so re-runs and overlapping sweeps
   hit cache instead of re-solving LPs.
@@ -48,10 +50,20 @@ from repro.engine.registry import (
     sweep_points,
     sweep_specs,
 )
+from repro.resources import (
+    ExecutionProfile,
+    MAX_DEGRADATION_LEVEL,
+    PROFILE_LADDER,
+    default_memory_mb,
+    profile_for_level,
+)
 
 __all__ = [
     "CacheStats",
+    "ExecutionProfile",
     "FaultStats",
+    "MAX_DEGRADATION_LEVEL",
+    "PROFILE_LADDER",
     "PointFailure",
     "PointOutcome",
     "ResultCache",
@@ -65,11 +77,13 @@ __all__ = [
     "canonical_json",
     "content_hash",
     "default_cache_root",
+    "default_memory_mb",
     "derive_seed",
     "expand",
     "get_sweep",
     "list_sweeps",
     "normalize",
+    "profile_for_level",
     "register_sweep",
     "resolve_target",
     "run_specs",

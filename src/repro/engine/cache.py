@@ -42,6 +42,10 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 #: Subdirectory (under the cache root) holding quarantined corrupt entries.
 QUARANTINE_DIR = "corrupt"
 
+#: Default cap on quarantined entries kept for inspection; beyond it the
+#: oldest are evicted, so a corruption storm cannot grow ``corrupt/`` forever.
+DEFAULT_QUARANTINE_BUDGET = 64
+
 log = get_logger("cache")
 
 
@@ -60,7 +64,9 @@ class CacheStats:
     ``lookup_s`` and ``store_s`` accumulate the wall time spent in cache I/O
     (fetches and stores respectively), so run manifests can report how much
     of a sweep went to the cache itself.  ``corruptions`` counts entries
-    quarantined because they failed to parse or failed their checksum.
+    quarantined because they failed to parse or failed their checksum;
+    ``quarantine_evictions`` counts quarantined entries later dropped to
+    keep ``corrupt/`` within its entry budget.
     """
 
     hits: int = 0
@@ -68,6 +74,7 @@ class CacheStats:
     writes: int = 0
     evictions: int = 0
     corruptions: int = 0
+    quarantine_evictions: int = 0
     lookup_s: float = 0.0
     store_s: float = 0.0
 
@@ -78,6 +85,7 @@ class CacheStats:
             "writes": self.writes,
             "evictions": self.evictions,
             "corruptions": self.corruptions,
+            "quarantine_evictions": self.quarantine_evictions,
             "lookup_s": self.lookup_s,
             "store_s": self.store_s,
         }
@@ -88,15 +96,22 @@ class CacheStats:
             text += f", {self.evictions} evictions"
         if self.corruptions:
             text += f", {self.corruptions} corrupt"
+        if self.quarantine_evictions:
+            text += f", {self.quarantine_evictions} quarantine evictions"
         return text
 
 
 @dataclass
 class ResultCache:
-    """Content-addressed JSON store for scenario results."""
+    """Content-addressed JSON store for scenario results.
+
+    ``quarantine_budget`` caps how many corrupt entries ``corrupt/`` keeps
+    for inspection (oldest evicted beyond it; ``<= 0`` means unbounded).
+    """
 
     root: Path
     stats: CacheStats = field(default_factory=CacheStats)
+    quarantine_budget: int = DEFAULT_QUARANTINE_BUDGET
 
     def __post_init__(self) -> None:
         self.root = Path(self.root).expanduser()
@@ -170,6 +185,26 @@ class ResultCache:
             reason,
             destination,
         )
+        self._evict_quarantine()
+
+    def _evict_quarantine(self) -> None:
+        """Drop the oldest quarantined entries beyond the entry budget."""
+        if self.quarantine_budget <= 0:
+            return
+
+        def mtime(entry: Path) -> float:
+            try:
+                return entry.stat().st_mtime
+            except OSError:  # pragma: no cover - raced deletion
+                return 0.0
+
+        entries = sorted(self.quarantine_dir().glob("*.json"), key=mtime)
+        for entry in entries[: max(len(entries) - self.quarantine_budget, 0)]:
+            try:
+                entry.unlink()
+            except OSError:  # pragma: no cover - raced deletion
+                continue
+            self.stats.quarantine_evictions += 1
 
     def store(self, point: ScenarioPoint, value: Any) -> None:
         """Atomically persist ``value`` for ``point``."""

@@ -12,12 +12,25 @@ in four passes:
    collapsed so each distinct scenario executes exactly once, however many
    sweeps reference it.
 3. **Execution** -- distinct scenarios run serially in-process
-   (``workers <= 1`` without a timeout) or under a *supervised* worker pool:
-   dedicated worker processes fed over pipes, with per-point wall-clock
-   deadlines, detection of worker death (a crashed or OOM-killed worker is
-   noticed through its process sentinel, never hung on), bounded retry with
+   (``workers <= 1`` without a timeout or memory budget) or under a
+   *supervised* worker pool: dedicated worker processes fed over pipes, with
+   per-point wall-clock deadlines, per-point memory budgets (an ``RLIMIT_AS``
+   soft cap applied inside the worker, so an overrun raises a catchable
+   ``MemoryError`` classified as ``oom`` instead of drawing the kernel OOM
+   killer), detection of worker death (a crashed or OOM-killed worker is
+   noticed through its process sentinel, never hung on -- signal deaths are
+   classified ``signal``, ``os._exit`` deaths ``crash``), bounded retry with
    exponential backoff and deterministic jitter, and quarantine of poison
    points after ``max_attempts``.
+
+Resource-exhaustion failures (``oom`` / ``signal`` / ``timeout``) do not
+retry the identical computation: the runner re-dispatches the point one rung
+down the :data:`~repro.resources.PROFILE_LADDER` -- halved kernel scratch
+budgets, then sampled estimators, then reduced trial counts -- so sweeps
+complete with degraded-but-honest values (the outcome records its
+``degradation_level`` and profile; degraded values are never written to the
+result cache) instead of quarantining.  Plain errors keep the existing
+backoff/quarantine path.
 
 A quarantined point does not abort the sweep: every healthy point still
 completes, the outcome carries ``status="failed"`` with a structured
@@ -44,6 +57,13 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.engine.cache import ResultCache
 from repro.engine.spec import ScenarioPoint
+from repro.resources import (
+    MAX_DEGRADATION_LEVEL,
+    RESOURCE_FAULT_KINDS,
+    ExecutionProfile,
+    apply_memory_budget,
+    profile_for_level,
+)
 from repro.telemetry import count, get_logger, trace
 from repro.telemetry.manifest import peak_rss_kb
 from repro.telemetry.tracer import clock
@@ -87,8 +107,11 @@ class PointFailure:
 
     ``kind`` is the *final* attempt's failure mode (``"error"`` for a
     raised exception, ``"timeout"`` for a wall-clock deadline kill,
-    ``"crash"`` for worker death); ``history`` lists every attempt's kind
-    in order.  ``exitcode`` is the dead worker's exit code for crashes.
+    ``"oom"`` for a ``MemoryError`` under the point's memory budget,
+    ``"signal"`` for a worker killed by a signal -- e.g. the real OOM
+    killer's SIGKILL -- and ``"crash"`` for any other worker death);
+    ``history`` lists every attempt's kind in order.  ``exitcode`` is the
+    dead worker's exit code for crashes/signals (negative = signal number).
     """
 
     kind: str
@@ -114,6 +137,13 @@ class PointOutcome:
     (skipped via a resume journal) or ``"failed"`` (quarantined; ``value``
     is ``None`` and ``failure`` describes why); ``attempts`` counts
     execution attempts including retries (0 for journal/cache hits).
+
+    ``degradation_level`` is the ladder rung the final attempt ran at (0 =
+    full fidelity) with ``profile`` the matching
+    :meth:`~repro.resources.ExecutionProfile.as_dict` (``None`` at rung 0),
+    and ``history`` the failure kinds of every *earlier* attempt -- so a
+    point that succeeded after degrading still reports how it got there.
+    Dedup followers inherit all three from their primary.
     """
 
     point: ScenarioPoint
@@ -125,16 +155,28 @@ class PointOutcome:
     status: str = STATUS_OK
     attempts: int = 0
     failure: Optional[PointFailure] = None
+    degradation_level: int = 0
+    profile: Optional[dict] = None
+    history: List[str] = field(default_factory=list)
 
 
 @dataclass
 class FaultStats:
-    """Per-run fault counters (reset at the start of every :meth:`run`)."""
+    """Per-run fault counters (reset at the start of every :meth:`run`).
+
+    ``ooms`` counts budgeted ``MemoryError`` failures, ``signals`` workers
+    killed by a signal (e.g. the kernel OOM killer), and ``degraded``
+    ladder escalations (re-dispatches one profile rung down); ``retries``
+    includes the degraded re-dispatches.
+    """
 
     retries: int = 0
     timeouts: int = 0
     crashes: int = 0
+    ooms: int = 0
+    signals: int = 0
     errors: int = 0
+    degraded: int = 0
     quarantined: int = 0
     journal_skips: int = 0
 
@@ -143,15 +185,17 @@ class FaultStats:
 
     def any_faults(self) -> bool:
         return bool(
-            self.retries or self.timeouts or self.crashes
-            or self.errors or self.quarantined
+            self.retries or self.timeouts or self.crashes or self.ooms
+            or self.signals or self.errors or self.quarantined
         )
 
     def __str__(self) -> str:
         return (
             f"{self.retries} retries, {self.timeouts} timeouts, "
-            f"{self.crashes} crashes, {self.errors} errors, "
-            f"{self.quarantined} quarantined"
+            f"{self.crashes} crashes, {self.ooms} ooms, "
+            f"{self.signals} signals, {self.errors} errors, "
+            f"{self.degraded} degraded, {self.quarantined} quarantined, "
+            f"{self.journal_skips} journal skips"
         )
 
 
@@ -173,7 +217,10 @@ def backoff_delay(
 class _Task:
     """One distinct scenario in flight: its grid index, point and attempts."""
 
-    __slots__ = ("index", "point", "attempts", "history", "last_message", "last_exitcode")
+    __slots__ = (
+        "index", "point", "attempts", "history", "last_message",
+        "last_exitcode", "degradation_level",
+    )
 
     def __init__(self, index: int, point: ScenarioPoint) -> None:
         self.index = index
@@ -182,16 +229,33 @@ class _Task:
         self.history: List[str] = []
         self.last_message = ""
         self.last_exitcode: Optional[int] = None
+        self.degradation_level = 0
+
+    def profile(self) -> Optional[ExecutionProfile]:
+        """The ladder rung to execute at (``None`` = full fidelity)."""
+        if self.degradation_level <= 0:
+            return None
+        return profile_for_level(self.degradation_level)
 
 
-def _execute_point(index: int, point: ScenarioPoint, attempt: int) -> Tuple[Any, float]:
+def _execute_point(
+    index: int,
+    point: ScenarioPoint,
+    attempt: int,
+    profile: Optional[ExecutionProfile] = None,
+) -> Tuple[Any, float]:
     """Run one point (with the chaos hook) and return ``(value, duration)``."""
     plan = active_plan()
     if plan is not None:
         plan.on_execute(index, point.scenario_hash, point.target, attempt)
     start = clock()
-    with trace("engine.point", target=point.target, attempt=attempt):
-        value = point.execute()
+    with trace(
+        "engine.point",
+        target=point.target,
+        attempt=attempt,
+        degradation=profile.level if profile is not None else 0,
+    ):
+        value = point.execute(profile)
     return value, clock() - start
 
 
@@ -199,8 +263,12 @@ def _worker_main(conn) -> None:
     """Supervised pool worker: execute tasks from the pipe until told to stop.
 
     Exceptions raised by a point are *reported*, never allowed to kill the
-    worker; only a real crash (``os._exit``, OOM kill, signal) ends the
-    process, which the supervisor notices through the process sentinel.
+    worker -- a ``MemoryError`` under the task's memory budget reports as a
+    ``"oom"`` failure, anything else as ``"error"``.  Only a real crash
+    (``os._exit``, OOM kill, signal) ends the process, which the supervisor
+    notices through the process sentinel.  The budget's rlimit is restored
+    *before* any pipe send, so reporting (including pickling a large value)
+    can never itself die of the point's budget.
     """
     while True:
         try:
@@ -209,17 +277,23 @@ def _worker_main(conn) -> None:
             return
         if task is None:
             return
-        index, point, attempt = task
+        index, point, attempt, profile, memory_mb = task
+        restore = apply_memory_budget(memory_mb) if memory_mb else None
         try:
-            value, duration = _execute_point(index, point, attempt)
+            value, duration = _execute_point(index, point, attempt, profile)
         except KeyboardInterrupt:
             return
         except BaseException as error:
+            if restore is not None:
+                restore()
+            kind = "oom" if isinstance(error, MemoryError) else "error"
             try:
-                conn.send(("error", index, f"{type(error).__name__}: {error}"))
+                conn.send(("fail", index, kind, f"{type(error).__name__}: {error}"))
             except (OSError, ValueError):
                 return
             continue
+        if restore is not None:
+            restore()
         try:
             conn.send(("ok", index, value, duration, os.getpid(), peak_rss_kb()))
         except (OSError, ValueError):
@@ -246,11 +320,18 @@ class _WorkerHandle:
         child_conn.close()
         self.conn = parent_conn
 
-    def dispatch(self, task: _Task, timeout_s: Optional[float]) -> None:
+    def dispatch(
+        self,
+        task: _Task,
+        timeout_s: Optional[float],
+        memory_mb: Optional[float] = None,
+    ) -> None:
         task.attempts += 1
         self.task = task
         self.deadline = clock() + timeout_s if timeout_s is not None else None
-        self.conn.send((task.index, task.point, task.attempts))
+        self.conn.send(
+            (task.index, task.point, task.attempts, task.profile(), memory_mb)
+        )
 
     def discard(self) -> None:
         """Kill the process (hung, crashed, or mid-task) and close the pipe."""
@@ -308,6 +389,22 @@ class SweepRunner:
         Per-point wall-clock deadline.  A point past its deadline has its
         worker terminated, counts a ``timeout`` fault, and is retried with
         backoff.  ``None`` (default) disables deadlines.
+    memory_mb:
+        Per-point memory budget.  Each supervised worker caps its address
+        space (``RLIMIT_AS`` soft limit, with a safety margin over the
+        worker's baseline) before executing a point, so an overrun raises
+        a catchable ``MemoryError`` classified as an ``oom`` fault instead
+        of drawing the kernel OOM killer.  Like ``timeout_s``, a budget
+        forces supervised execution even for ``workers <= 1``.  ``None``
+        (default) disables budgets.
+    degrade:
+        When true (default), a point failing on resource exhaustion
+        (``oom`` / ``signal`` / ``timeout``) is re-dispatched one rung down
+        the degradation ladder (see :mod:`repro.resources`) instead of
+        retrying identically, until the ladder bottoms out at rung
+        ``MAX_DEGRADATION_LEVEL``.  Ladder escalations do not consume
+        ``max_attempts`` (a point may use one extra attempt per rung);
+        plain errors never escalate.
     max_attempts:
         Total execution attempts per distinct scenario before it is
         quarantined (default 3: one initial try plus two retries).
@@ -337,6 +434,8 @@ class SweepRunner:
         progress: Optional[ProgressCallback] = None,
         *,
         timeout_s: Optional[float] = None,
+        memory_mb: Optional[float] = None,
+        degrade: bool = True,
         max_attempts: int = 3,
         backoff_base_s: float = 0.25,
         backoff_cap_s: float = 30.0,
@@ -349,10 +448,14 @@ class SweepRunner:
             raise ValueError("max_attempts must be at least 1")
         if timeout_s is not None and timeout_s <= 0:
             raise ValueError("timeout_s must be positive (or None to disable)")
+        if memory_mb is not None and memory_mb <= 0:
+            raise ValueError("memory_mb must be positive (or None to disable)")
         self.workers = workers
         self.cache = cache
         self.progress = progress
         self.timeout_s = timeout_s
+        self.memory_mb = memory_mb
+        self.degrade = degrade
         self.max_attempts = max_attempts
         self.backoff_base_s = backoff_base_s
         self.backoff_cap_s = backoff_cap_s
@@ -425,7 +528,12 @@ class SweepRunner:
             task: _Task, value: Any, duration: float, worker: int, rss_kb: int
         ) -> None:
             point = points[task.index]
-            if self.cache is not None:
+            profile = task.profile()
+            profile_dict = profile.as_dict() if profile is not None else None
+            if self.cache is not None and task.degradation_level == 0:
+                # Degraded values are honest but not canonical: caching one
+                # under the scenario hash would serve it to later runs as if
+                # it were the full-fidelity result.
                 self.cache.store(point, value)
             finish(
                 task.index,
@@ -437,18 +545,28 @@ class SweepRunner:
                     worker=worker,
                     peak_rss_kb=rss_kb,
                     attempts=task.attempts,
+                    degradation_level=task.degradation_level,
+                    profile=profile_dict,
+                    history=list(task.history),
                 ),
             )
             for follower_index in followers.get(point.scenario_hash, ()):
                 finish(
                     follower_index,
                     PointOutcome(
-                        points[follower_index], value, cached=True, duration_s=0.0
+                        points[follower_index],
+                        value,
+                        cached=True,
+                        duration_s=0.0,
+                        degradation_level=task.degradation_level,
+                        profile=profile_dict,
+                        history=list(task.history),
                     ),
                 )
 
         def on_failure(task: _Task) -> None:
             point = points[task.index]
+            profile = task.profile()
             failure = PointFailure(
                 kind=task.history[-1] if task.history else "error",
                 message=task.last_message,
@@ -474,14 +592,18 @@ class SweepRunner:
                         status=STATUS_FAILED,
                         attempts=task.attempts,
                         failure=failure,
+                        degradation_level=task.degradation_level,
+                        profile=profile.as_dict() if profile is not None else None,
+                        history=list(task.history),
                     ),
                 )
 
         if work:
             pool_workers = self.workers
-            if pool_workers == 0 and self.timeout_s is not None:
+            needs_supervisor = self.timeout_s is not None or self.memory_mb is not None
+            if pool_workers == 0 and needs_supervisor:
                 pool_workers = 1
-            if pool_workers > 1 or (pool_workers == 1 and self.timeout_s is not None):
+            if pool_workers > 1 or (pool_workers == 1 and needs_supervisor):
                 self._run_supervised(
                     work, min(pool_workers, len(work)), on_success, on_failure
                 )
@@ -521,6 +643,10 @@ class SweepRunner:
             stats.timeouts += 1
         elif kind == "crash":
             stats.crashes += 1
+        elif kind == "oom":
+            stats.ooms += 1
+        elif kind == "signal":
+            stats.signals += 1
         else:
             stats.errors += 1
         count(f"engine.{kind}s")
@@ -540,8 +666,33 @@ class SweepRunner:
         delayed: List[Tuple[float, _Task]],
         on_failure: Callable[[_Task], None],
     ) -> int:
-        """Requeue with backoff or quarantine; returns 1 when terminal."""
-        if task.attempts < self.max_attempts:
+        """Requeue with backoff or quarantine; returns 1 when terminal.
+
+        Resource-exhaustion failures (``oom``/``signal``/``timeout``)
+        escalate the degradation ladder one rung before requeueing --
+        retrying the identical computation would just exhaust the same
+        resource -- and each escalation grants one attempt beyond
+        ``max_attempts`` (bounded by the ladder depth), so a point is never
+        quarantined without having tried its cheapest honest mode.  Plain
+        errors keep the unmodified backoff/quarantine path.
+        """
+        kind = task.history[-1] if task.history else "error"
+        escalate = (
+            self.degrade
+            and kind in RESOURCE_FAULT_KINDS
+            and task.degradation_level < MAX_DEGRADATION_LEVEL
+        )
+        if task.attempts < self.max_attempts or escalate:
+            if escalate:
+                task.degradation_level += 1
+                self.fault_stats.degraded += 1
+                count("engine.degraded")
+                log.warning(
+                    "degrading %s to ladder rung %d after %s",
+                    task.point.scenario_hash[:12],
+                    task.degradation_level,
+                    kind,
+                )
             self.fault_stats.retries += 1
             count("engine.retries")
             delay = backoff_delay(
@@ -551,11 +702,12 @@ class SweepRunner:
                 self.backoff_cap_s,
             )
             log.warning(
-                "retrying %s in %.2fs (attempt %d/%d)",
+                "retrying %s in %.2fs (attempt %d/%d, rung %d)",
                 task.point.scenario_hash[:12],
                 delay,
                 task.attempts + 1,
                 self.max_attempts,
+                task.degradation_level,
             )
             delayed.append((clock() + delay, task))
             return 0
@@ -574,13 +726,14 @@ class SweepRunner:
                 task.attempts += 1
                 try:
                     value, duration = _execute_point(
-                        task.index, task.point, task.attempts
+                        task.index, task.point, task.attempts, task.profile()
                     )
                 except KeyboardInterrupt:
                     raise
                 except Exception as error:
+                    kind = "oom" if isinstance(error, MemoryError) else "error"
                     self._note_failure(
-                        task, "error", f"{type(error).__name__}: {error}"
+                        task, kind, f"{type(error).__name__}: {error}"
                     )
                     if self._after_failure(task, delayed, on_failure):
                         break
@@ -611,7 +764,9 @@ class SweepRunner:
                     if worker.task is None and ready:
                         if not worker.process.is_alive():
                             worker.respawn()
-                        worker.dispatch(ready.popleft(), self.timeout_s)
+                        worker.dispatch(
+                            ready.popleft(), self.timeout_s, self.memory_mb
+                        )
                 busy = [w for w in workers if w.task is not None]
                 if not busy:
                     # Nothing in flight: everything outstanding is backing off.
@@ -643,12 +798,7 @@ class SweepRunner:
                     task = worker.task
                     exitcode = worker.process.exitcode
                     worker.respawn()
-                    self._note_failure(
-                        task,
-                        "crash",
-                        f"worker died with exit code {exitcode}",
-                        exitcode=exitcode,
-                    )
+                    self._note_worker_death(task, exitcode)
                     outstanding -= self._after_failure(task, delayed, on_failure)
                 # Deadlines last, after any just-delivered results.
                 now = clock()
@@ -673,21 +823,38 @@ class SweepRunner:
                 else:
                     worker.shutdown()
 
-    def _handle_message(self, worker, delayed, on_success, on_failure) -> int:
-        """Receive one worker report; returns 1 when its task is terminal."""
-        task = worker.task
-        try:
-            message = worker.conn.recv()
-        except (EOFError, OSError):
-            # Died between becoming readable and the recv: count as a crash.
-            exitcode = worker.process.exitcode
-            worker.respawn()
+    def _note_worker_death(self, task: _Task, exitcode: Optional[int]) -> None:
+        """Classify a dead worker: signal kill (``signal``) vs ``crash``.
+
+        A negative exitcode is a signal death (``-9`` = SIGKILL, what the
+        kernel OOM killer sends); anything else -- ``os._exit``, a hard
+        interpreter abort with a positive code -- is a ``crash``.
+        """
+        if exitcode is not None and exitcode < 0:
+            self._note_failure(
+                task,
+                "signal",
+                f"worker killed by signal {-exitcode}",
+                exitcode=exitcode,
+            )
+        else:
             self._note_failure(
                 task,
                 "crash",
                 f"worker died with exit code {exitcode}",
                 exitcode=exitcode,
             )
+
+    def _handle_message(self, worker, delayed, on_success, on_failure) -> int:
+        """Receive one worker report; returns 1 when its task is terminal."""
+        task = worker.task
+        try:
+            message = worker.conn.recv()
+        except (EOFError, OSError):
+            # Died between becoming readable and the recv: classify the death.
+            exitcode = worker.process.exitcode
+            worker.respawn()
+            self._note_worker_death(task, exitcode)
             return self._after_failure(task, delayed, on_failure)
         worker.task = None
         worker.deadline = None
@@ -695,5 +862,6 @@ class SweepRunner:
             _, _, value, duration, pid, rss_kb = message
             on_success(task, value, duration, pid, rss_kb)
             return 1
-        self._note_failure(task, "error", message[2])
+        _, _, kind, detail = message
+        self._note_failure(task, kind, detail)
         return self._after_failure(task, delayed, on_failure)

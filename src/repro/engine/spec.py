@@ -24,6 +24,8 @@ from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
 
+from repro.resources import ExecutionProfile, activate_profile
+
 SEED_STRATEGIES = ("auto", "shared", "derived")
 
 
@@ -117,13 +119,21 @@ class ScenarioPoint:
         # the content address instead so points work in sets and dict keys.
         return hash(self.scenario_hash)
 
-    def execute(self) -> Any:
-        """Run the target and return its canonical-JSON-normalized value."""
+    def execute(self, profile: Optional[ExecutionProfile] = None) -> Any:
+        """Run the target and return its canonical-JSON-normalized value.
+
+        ``profile`` (a degradation-ladder rung, see :mod:`repro.resources`)
+        is activated around the target call so budget-aware kernels pick up
+        its scratch/memo scales and sampled-mode switch; ``None`` runs at
+        full fidelity.  This is the single seam both the serial and the
+        supervised worker paths execute through.
+        """
         fn = resolve_target(self.target)
         kwargs = dict(self.params)
         if self.seed is not None:
             kwargs["seed"] = self.seed
-        return normalize(fn(**kwargs))
+        with activate_profile(profile):
+            return normalize(fn(**kwargs))
 
     def describe(self) -> str:
         return f"{self.scenario_hash[:12]} {self.target} {canonical_json(self.params)}"

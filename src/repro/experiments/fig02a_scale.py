@@ -17,6 +17,11 @@ trial:
 
 Cuts are normalized by one partition's server bandwidth (``servers / 2``),
 the same normalization the fig02a family uses.
+
+Both estimators honor the active execution profile (degradation ladder,
+:mod:`repro.resources`): a resource-exhausted point re-runs with fewer
+sources/trials one rung down, and the echoed ``trials``/``num_sources``
+in each row record what actually ran.
 """
 
 from __future__ import annotations

@@ -18,6 +18,12 @@ Each switch count is its own scenario point (derived seed), so the sweep
 shards across workers and caches per size like any engine-native grid.
 At the ``small`` scale the sample still covers a minority of sources, so
 tests exercise the same estimator path the hyperscale runs use.
+
+Under the resource governor (``--memory-mb`` plus the degradation ladder,
+see :mod:`repro.resources`) a point that exhausts its budget re-runs one
+fidelity rung down; because each point echoes the ``num_sources`` that
+*actually* ran (``stats.num_sources``), degraded rows are visibly honest
+in the assembled table.
 """
 
 from __future__ import annotations

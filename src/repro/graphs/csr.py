@@ -38,6 +38,7 @@ from typing import Dict, Hashable, Iterator, List, Optional, Sequence, Tuple
 import networkx as nx
 import numpy as np
 
+from repro.resources import active_profile
 from repro.telemetry import count, trace
 
 IndexPath = Tuple[int, ...]
@@ -68,8 +69,15 @@ def _env_mb(name: str, default_bytes: int) -> int:
 
 
 def default_bfs_scratch_bytes() -> int:
-    """The active BFS scratch budget (env-overridable, read per call)."""
-    return _env_mb("REPRO_BFS_SCRATCH_MB", DEFAULT_BFS_SCRATCH_BYTES)
+    """The active BFS scratch budget (env-overridable, read per call).
+
+    The active :class:`~repro.resources.ExecutionProfile` scales the result
+    (degradation-ladder rungs halve the scratch budget), so a degraded
+    re-dispatch genuinely allocates less transient memory per BFS chunk.
+    """
+    profile = active_profile()
+    budget = _env_mb("REPRO_BFS_SCRATCH_MB", DEFAULT_BFS_SCRATCH_BYTES)
+    return profile.scale_bytes(budget, profile.bfs_scratch_scale)
 
 
 def bfs_source_chunk(
@@ -160,13 +168,19 @@ class _DistanceRowMemo:
         self.hits += 1
         return row
 
+    def effective_budget(self) -> int:
+        """The byte budget scaled by the active execution profile."""
+        profile = active_profile()
+        return profile.scale_bytes(self.budget_bytes, profile.dist_memo_scale)
+
     def store(self, key: Tuple[str, int], row: np.ndarray) -> None:
-        if row.nbytes > self.budget_bytes or key in self.entries:
+        budget = self.effective_budget()
+        if row.nbytes > budget or key in self.entries:
             return
         self.entries[key] = row
         self.bytes += row.nbytes
         evicted = 0
-        while self.bytes > self.budget_bytes:
+        while self.bytes > budget:
             _, dropped = self.entries.popitem(last=False)
             self.bytes -= dropped.nbytes
             evicted += 1
@@ -186,6 +200,7 @@ class _DistanceRowMemo:
             "rows": len(self.entries),
             "bytes": self.bytes,
             "budget_bytes": self.budget_bytes,
+            "effective_budget_bytes": self.effective_budget(),
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,

@@ -31,6 +31,7 @@ from repro.graphs.csr import (
     dist_row_memo_get,
     dist_row_memo_store,
 )
+from repro.resources import PROFILE_SAMPLE_SEED, active_profile
 
 
 def is_connected(graph: nx.Graph) -> bool:
@@ -238,7 +239,25 @@ def connected_components_csr(csr: CSRGraph) -> List[np.ndarray]:
 
 
 def average_path_length_csr(csr: CSRGraph) -> float:
-    """Mean shortest-path length over distinct reachable pairs (CSR entry)."""
+    """Mean shortest-path length over distinct reachable pairs (CSR entry).
+
+    Under a ``sampled`` execution profile (degradation-ladder rung 2+, see
+    :mod:`repro.resources`) this delegates to the source-sampled streaming
+    estimator with a fixed seed -- a deterministic, memory-bounded estimate
+    instead of the all-pairs reduction.  Tiny graphs, where the planner
+    cannot demote below "all sources", stay exact.
+    """
+    profile = active_profile()
+    if profile.sampled:
+        from repro.graphs.sampling import sampled_path_length_stats
+
+        stats = sampled_path_length_stats(
+            csr,
+            num_sources=profile.plan_sources(csr.num_nodes, None),
+            seed=PROFILE_SAMPLE_SEED,
+        )
+        if not stats.exact:
+            return stats.mean
     histogram = path_length_distribution_csr(csr)
     total_pairs = sum(histogram.values())
     if total_pairs == 0:

@@ -44,6 +44,7 @@ from typing import Dict, Optional, Tuple
 import numpy as np
 
 from repro.graphs.csr import CSRGraph
+from repro.resources import active_profile
 from repro.telemetry import trace
 
 
@@ -114,10 +115,17 @@ def sampled_path_length_stats(
     The estimator targets connected graphs (every RRG this repo evaluates);
     on a disconnected graph each source averages over the pairs it can
     reach and ``unreachable_pairs`` counts what was skipped.
+
+    The active execution profile (degradation ladder, see
+    :mod:`repro.resources`) re-plans ``num_sources`` deterministically:
+    deep rungs demote exact requests to a minority sample and shrink
+    sampled requests, so a degraded re-dispatch genuinely costs less.  The
+    returned ``num_sources`` records what actually ran.
     """
     n = csr.num_nodes
     if n < 2:
         raise ValueError("need at least two nodes to sample pairs")
+    num_sources = active_profile().plan_sources(n, num_sources)
     z = _z_score(confidence)
     exact = num_sources is None or num_sources >= n
     if exact:
@@ -250,9 +258,14 @@ def sampled_bisection_stats(
     so it runs at 100k switches in seconds.  Replaces the Kernighan–Lin
     search (quadratic-ish per pass) in the hyperscale regime; at small N
     the two are cross-checked by the test suite.
+
+    The active execution profile may deterministically shrink ``trials``
+    (degradation-ladder rung 3 halves it, floor 1); the returned ``trials``
+    records what actually ran.
     """
     if trials < 1:
         raise ValueError("trials must be positive")
+    trials = active_profile().plan_trials(trials)
     n = csr.num_nodes
     if n < 2 or len(csr.indices) == 0:
         zero = 0.0

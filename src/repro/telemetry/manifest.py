@@ -97,6 +97,11 @@ class PointRecord:
     ``"failed"`` (quarantined); ``attempts`` counts execution attempts
     including retries; ``failure`` is the quarantined point's structured
     failure (:meth:`~repro.engine.runner.PointFailure.as_dict`).
+
+    ``degradation_level`` / ``profile`` record the ladder rung the final
+    attempt ran at (0 / ``None`` = full fidelity) and ``history`` the
+    failure kinds of earlier attempts -- so a degraded-but-successful point
+    is auditable from the manifest alone.
     """
 
     scenario_hash: str
@@ -108,6 +113,9 @@ class PointRecord:
     status: str = "ok"
     attempts: int = 0
     failure: Optional[dict] = None
+    degradation_level: int = 0
+    profile: Optional[dict] = None
+    history: Optional[List[str]] = None
 
 
 @dataclass
@@ -180,6 +188,9 @@ class RunRecord:
 
     def failed_count(self) -> int:
         return sum(1 for p in self.points if p.status == "failed")
+
+    def degraded_count(self) -> int:
+        return sum(1 for p in self.points if p.degradation_level > 0)
 
     def retry_count(self) -> int:
         return int((self.failures or {}).get("retries", 0))
@@ -329,6 +340,9 @@ class RunRecorder:
         point = outcome.point
         status = str(getattr(outcome, "status", "ok"))
         failure = getattr(outcome, "failure", None)
+        degradation_level = int(getattr(outcome, "degradation_level", 0) or 0)
+        profile = getattr(outcome, "profile", None)
+        history = list(getattr(outcome, "history", None) or [])
         self.record.points.append(
             PointRecord(
                 scenario_hash=point.scenario_hash,
@@ -340,10 +354,19 @@ class RunRecorder:
                 status=status,
                 attempts=int(getattr(outcome, "attempts", 0) or 0),
                 failure=failure.as_dict() if failure is not None else None,
+                degradation_level=degradation_level,
+                profile=dict(profile) if profile else None,
+                history=history or None,
             )
         )
         if self._journal is not None:
             entry: Dict[str, Any] = {"hash": point.scenario_hash, "status": status}
+            if degradation_level > 0:
+                entry["degradation_level"] = degradation_level
+                if profile:
+                    entry["profile"] = dict(profile)
+            if history:
+                entry["history"] = history
             if status != "failed":
                 # The value rides in the journal so resume never depends on
                 # the cache being intact (a torn cache write cannot force a

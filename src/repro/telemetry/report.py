@@ -92,6 +92,7 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
         peak_rss = 0
         failed = 0
         retries = 0
+        degraded = 0
         for run in runs:
             executed.extend(run.executed_durations())
             cached += run.cached_count()
@@ -99,6 +100,7 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
             peak_rss = max(peak_rss, run.max_peak_rss_kb())
             failed += run.failed_count()
             retries += run.retry_count()
+            degraded += run.degraded_count()
         rows.append(
             {
                 "experiment": sweep_id,
@@ -108,6 +110,7 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
                 "hit_rate": (cached / total_points) if total_points else float("nan"),
                 "failed": failed,
                 "retries": retries,
+                "degraded": degraded,
                 "p50_s": percentile(executed, 50.0),
                 "p95_s": percentile(executed, 95.0),
                 "peak_rss_kb": peak_rss,
@@ -119,15 +122,19 @@ def experiment_rows(records: Sequence[RunRecord]) -> List[dict]:
 def fault_summary(records: Sequence[RunRecord]) -> Dict[str, int]:
     """Aggregate fault counters across manifests (all zero when healthy).
 
-    Sums each run's ``failures`` dict (retries, timeouts, crashes, errors,
-    quarantined, journal_skips), adds cache ``corruptions`` from the cache
-    stats snapshots, and counts interrupted runs.
+    Sums each run's ``failures`` dict (retries, timeouts, crashes, ooms,
+    signals, errors, degraded, quarantined, journal_skips), adds cache
+    ``corruptions`` from the cache stats snapshots, and counts interrupted
+    runs.
     """
     totals: Dict[str, int] = {
         "retries": 0,
         "timeouts": 0,
         "crashes": 0,
+        "ooms": 0,
+        "signals": 0,
         "errors": 0,
+        "degraded": 0,
         "quarantined": 0,
         "journal_skips": 0,
         "cache_corruptions": 0,
@@ -148,12 +155,14 @@ def render_fault_summary(totals: Dict[str, int]) -> str:
         f"{totals['retries']} retries",
         f"{totals['timeouts']} timeouts",
         f"{totals['crashes']} crashes",
+        f"{totals['ooms']} ooms",
+        f"{totals['signals']} signals",
         f"{totals['errors']} errors",
+        f"{totals['degraded']} degraded",
         f"{totals['quarantined']} quarantined",
+        f"{totals['journal_skips']} journal skips",
         f"{totals['cache_corruptions']} cache corruptions",
     ]
-    if totals.get("journal_skips"):
-        parts.append(f"{totals['journal_skips']} journal skips")
     if totals.get("interrupted_runs"):
         parts.append(f"{totals['interrupted_runs']} interrupted runs")
     return "faults: " + ", ".join(parts)
@@ -235,8 +244,8 @@ def _format_seconds(seconds: float) -> str:
 def render_experiment_table(rows: List[dict]) -> str:
     lines = [
         f"{'experiment':<16} {'runs':>5} {'points':>7} {'cached':>7} "
-        f"{'hit rate':>9} {'fail':>5} {'retry':>6} {'p50':>9} {'p95':>9} "
-        f"{'peak rss':>10}"
+        f"{'hit rate':>9} {'fail':>5} {'retry':>6} {'deg':>5} {'p50':>9} "
+        f"{'p95':>9} {'peak rss':>10}"
     ]
     for row in rows:
         hit = "-" if row["hit_rate"] != row["hit_rate"] else f"{row['hit_rate']:.0%}"
@@ -244,7 +253,8 @@ def render_experiment_table(rows: List[dict]) -> str:
         lines.append(
             f"{row['experiment']:<16} {row['runs']:>5} {row['points']:>7} "
             f"{row['cached']:>7} {hit:>9} {row.get('failed', 0):>5} "
-            f"{row.get('retries', 0):>6} {_format_seconds(row['p50_s']):>9} "
+            f"{row.get('retries', 0):>6} {row.get('degraded', 0):>5} "
+            f"{_format_seconds(row['p50_s']):>9} "
             f"{_format_seconds(row['p95_s']):>9} {rss:>10}"
         )
     return "\n".join(lines)

@@ -14,7 +14,7 @@ the variable is unset every hook is a cheap no-op.
 
 A plan is ``{"seed": <int>, "faults": [<rule>, ...]}``.  Each rule::
 
-    {"kind": "crash" | "hang" | "error" | "torn_write",
+    {"kind": "crash" | "hang" | "error" | "oom" | "torn_write",
      "rate": 1.0,                # injection probability (seeded, per attempt)
      "attempts": [1],            # attempt numbers hit (omit = every attempt)
      "indices": [0, 3],          # executing point's input index (omit = any)
@@ -22,12 +22,20 @@ A plan is ``{"seed": <int>, "faults": [<rule>, ...]}``.  Each rule::
      "target": "pkg.mod:fn",     # exact target match (omit = any)
      "hang_s": 3600.0,           # "hang" only: how long to sleep
      "exit_code": 17,            # "crash" only: worker exit code
+     "signum": 9,                # "crash" only: die by signal instead
      "message": "..."}           # "error" only: exception text
 
 The first matching rule fires.  ``crash`` calls ``os._exit`` (a worker
-death the supervisor must detect via its sentinel), ``hang`` sleeps past
-any sane per-point timeout, ``error`` raises :class:`ChaosError` (a
-transient exception the runner retries), and ``torn_write`` makes
+death the supervisor must detect via its sentinel) -- or, with ``signum``
+set, kills itself with that signal (``"signum": 9`` simulates the kernel
+OOM killer's SIGKILL; the supervisor classifies the negative exitcode as
+a ``signal`` fault).  ``hang`` sleeps past any sane per-point timeout,
+``error`` raises :class:`ChaosError` (a transient exception the runner
+retries), ``oom`` deterministically allocates until the worker's
+``RLIMIT_AS`` budget raises :class:`MemoryError` (so the degradation
+ladder is testable without real memory pressure; with no finite soft cap
+active it *synthesizes* the ``MemoryError`` rather than racing the real
+OOM killer), and ``torn_write`` makes
 :class:`~repro.engine.cache.ResultCache` write a truncated entry straight
 to its final path -- the corruption the checksum pass must catch later.
 
@@ -52,11 +60,41 @@ from typing import Any, Dict, Optional, Tuple
 #: Environment variable holding the fault plan (JSON, or ``@<path>``).
 FAULTS_ENV = "REPRO_FAULTS"
 
-FAULT_KINDS = ("crash", "hang", "error", "torn_write")
+FAULT_KINDS = ("crash", "hang", "error", "oom", "torn_write")
 
 
 class ChaosError(RuntimeError):
     """The injected transient exception (``kind: "error"``)."""
+
+
+def _allocate_until_oom(block_bytes: int = 16 * 1024 * 1024) -> MemoryError:
+    """Exhaust the worker's memory budget; returns the ``MemoryError``.
+
+    With a finite ``RLIMIT_AS`` soft cap active (the runner's
+    ``memory_mb`` budget), allocates ``block_bytes`` chunks until the cap
+    genuinely raises ``MemoryError`` -- the real failure path, end to end.
+    Without a cap it *synthesizes* the error instead: allocating unboundedly
+    would fight the kernel OOM killer for the whole machine, which is
+    exactly what the budget machinery exists to avoid.
+    """
+    capped = False
+    try:
+        import resource
+
+        soft, _ = resource.getrlimit(resource.RLIMIT_AS)
+        capped = soft != resource.RLIM_INFINITY
+    except (ImportError, OSError, ValueError):  # pragma: no cover - non-Unix
+        capped = False
+    if not capped:
+        return MemoryError("injected oom (no RLIMIT_AS cap active)")
+    blocks = []
+    try:
+        while True:
+            blocks.append(bytearray(block_bytes))
+    except MemoryError:
+        count = len(blocks)
+        del blocks
+        return MemoryError(f"injected oom after {count} x {block_bytes} byte blocks")
 
 
 def _draw(seed: int, kind: str, scenario_hash: str, attempt: int) -> float:
@@ -79,6 +117,7 @@ class FaultRule:
     target: Optional[str] = None
     hang_s: float = 3600.0
     exit_code: int = 17
+    signum: Optional[int] = None
     message: str = "injected transient fault"
 
     def __post_init__(self) -> None:
@@ -113,7 +152,7 @@ class FaultRule:
     def from_dict(cls, payload: Dict[str, Any]) -> "FaultRule":
         known = {
             "kind", "rate", "attempts", "indices", "hash_prefix", "target",
-            "hang_s", "exit_code", "message",
+            "hang_s", "exit_code", "signum", "message",
         }
         unknown = set(payload) - known
         if unknown:
@@ -161,10 +200,18 @@ class FaultPlan:
             if not rule.matches(self.seed, index, scenario_hash, target, attempt):
                 continue
             if rule.kind == "crash":
+                if rule.signum is not None:
+                    os.kill(os.getpid(), rule.signum)
+                    # A blockable signal may be delivered asynchronously;
+                    # give it a beat, then fall back to a plain exit so the
+                    # rule always kills the process one way or the other.
+                    time.sleep(5.0)
                 os._exit(rule.exit_code)
             if rule.kind == "hang":
                 time.sleep(rule.hang_s)
                 return
+            if rule.kind == "oom":
+                raise _allocate_until_oom()
             raise ChaosError(
                 f"{rule.message} ({scenario_hash[:12]} attempt {attempt})"
             )

@@ -197,11 +197,15 @@ class TestSupervisedRecovery:
         assert runner.fault_stats.timeouts == 1
 
     def test_poison_hang_quarantined_as_timeout(self, monkeypatch):
+        # degrade=False: with the ladder on, a timeout would escalate through
+        # every rung before quarantining (covered in test_resource_governor);
+        # this test pins the classic retry-then-quarantine path.
         _set_plan(
             monkeypatch, faults=[{"kind": "hang", "indices": [0], "hang_s": 60}]
         )
         runner = SweepRunner(
-            workers=1, timeout_s=0.3, max_attempts=2, raise_on_failure=False, **FAST
+            workers=1, timeout_s=0.3, max_attempts=2, raise_on_failure=False,
+            degrade=False, **FAST
         )
         outcomes = runner.run(_points((1, 2)))
         assert outcomes[0].status == "failed"

@@ -578,7 +578,10 @@ class TestRecorderRobustness:
             "retries": 1,
             "timeouts": 0,
             "crashes": 0,
+            "ooms": 0,
+            "signals": 0,
             "errors": 2,
+            "degraded": 0,
             "quarantined": 1,
             "journal_skips": 0,
         }
